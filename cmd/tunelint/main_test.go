@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLintTestdataPrograms(t *testing.T) {
+	for _, name := range []string{"junction.tune", "pipeline.tune", "continuous.tune"} {
+		path := filepath.Join("..", "..", "testdata", name)
+		if err := lint(path, 256); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLintDOT(t *testing.T) {
+	emitDOT = true
+	defer func() { emitDOT = false }()
+	if err := lint(filepath.Join("..", "..", "testdata", "pipeline.tune"), 256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintErrors(t *testing.T) {
+	if err := lint("does-not-exist.tune", 256); err == nil {
+		t.Error("missing file linted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tune")
+	if err := os.WriteFile(bad, []byte("task oops {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint(bad, 256); err == nil {
+		t.Error("syntax error not reported")
+	}
+	// Path-limit error surfaces.
+	wide := filepath.Join(t.TempDir(), "wide.tune")
+	src := `task_control_parameters { g; }
+task s deadline 5 params (g) { config range (g = 1 .. 100 step 1) require 1 procs 1 time; }`
+	if err := os.WriteFile(wide, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint(wide, 10); err == nil {
+		t.Error("path-limit overflow not reported")
+	}
+}

@@ -1,0 +1,198 @@
+// Command tunesim regenerates the paper's evaluation figures on the
+// synthetic task system of Section 5.3: utilization and throughput of the
+// tunable vs. non-tunable task systems as arrival rate, laxity, machine
+// size and job shape vary.
+//
+// Usage:
+//
+//	tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|all|point|replicate|gantt
+//
+// The `point` subcommand runs the three systems once at the configured
+// parameters and prints the raw results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"milan/internal/core"
+	"milan/internal/experiments"
+	"milan/internal/workload"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	flag.IntVar(&cfg.Procs, "procs", cfg.Procs, "machine size (processors)")
+	flag.IntVar(&cfg.Job.X, "x", cfg.Job.X, "processors of task A")
+	flag.Float64Var(&cfg.Job.T, "t", cfg.Job.T, "duration of task A")
+	flag.Float64Var(&cfg.Job.Alpha, "alpha", cfg.Job.Alpha, "job shape parameter in (0,1], x*alpha integral")
+	flag.Float64Var(&cfg.Job.Laxity, "laxity", cfg.Job.Laxity, "slack ratio in [0,1)")
+	flag.Float64Var(&cfg.MeanInterarrival, "interval", cfg.MeanInterarrival, "mean Poisson interarrival gap")
+	flag.IntVar(&cfg.Jobs, "jobs", cfg.Jobs, "number of job arrivals per run")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	malleable := flag.Bool("malleable", false, "use the malleable task model (Section 5.4)")
+	tiebreak := flag.String("tiebreak", "paper", "chain tie-break policy: paper|firstfit|minarea|utilfirst")
+	plot := flag.Bool("plot", false, "render figures as ASCII charts in addition to tables")
+	csvOut := flag.Bool("csv", false, "emit figures as CSV instead of tables")
+	replicas := flag.Int("replicas", 10, "seeds for the replicate subcommand")
+	flag.Parse()
+	replicaCount = *replicas
+	plotFigures = *plot
+	csvFigures = *csvOut
+	cfg.Malleable = *malleable
+	switch *tiebreak {
+	case "paper":
+	case "firstfit":
+		cfg.Opts = &core.Options{TieBreak: core.TieBreakFirstFit}
+	case "minarea":
+		cfg.Opts = &core.Options{TieBreak: core.TieBreakMinArea}
+	case "utilfirst":
+		cfg.Opts = &core.Options{TieBreak: core.TieBreakUtilFirst}
+	default:
+		fmt.Fprintf(os.Stderr, "tunesim: unknown tiebreak %q\n", *tiebreak)
+		os.Exit(2)
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|all|point|replicate|gantt")
+		os.Exit(2)
+	}
+	if err := run(cfg, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tunesim:", err)
+		os.Exit(1)
+	}
+}
+
+// plotFigures renders ASCII charts after each figure table when set.
+var plotFigures bool
+
+// replicaCount is the seed count for the replicate subcommand.
+var replicaCount int
+
+// csvFigures selects CSV output for figure subcommands.
+var csvFigures bool
+
+// ganttDemo admits a short burst of tunable jobs and draws the resulting
+// processor-time schedule (holes show as dots).
+func ganttDemo(out *os.File, cfg experiments.Config) error {
+	n := cfg.Jobs
+	if n > 12 {
+		n = 12
+	}
+	sched := core.NewScheduler(cfg.Procs, 0, cfg.Opts)
+	arrivals := workload.NewPoisson(cfg.MeanInterarrival, cfg.Seed)
+	var placements []*core.Placement
+	release := 0.0
+	admitted, rejected := 0, 0
+	for i := 0; i < n; i++ {
+		release += arrivals.Next()
+		sched.Observe(0) // keep full history for the chart
+		job := cfg.Job.Job(i, release, workload.Tunable)
+		pl, err := sched.Admit(job)
+		if err != nil {
+			rejected++
+			continue
+		}
+		admitted++
+		placements = append(placements, pl)
+	}
+	asn, err := core.AssignProcessors(cfg.Procs, placements)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d arrivals: %d admitted, %d rejected (job IDs mod 10 shown)\n\n", n, admitted, rejected)
+	return core.RenderGantt(out, cfg.Procs, asn, 96)
+}
+
+func run(cfg experiments.Config, what string) error {
+	out := os.Stdout
+	fig := func(f experiments.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		if csvFigures {
+			return experiments.WriteFigureCSV(out, f)
+		}
+		if err := experiments.WriteFigure(out, f, cfg); err != nil {
+			return err
+		}
+		if plotFigures {
+			fmt.Fprintln(out)
+			return experiments.PlotFigure(out, f)
+		}
+		return nil
+	}
+	grid := func(g experiments.Grid, err error) error {
+		if err != nil {
+			return err
+		}
+		if csvFigures {
+			return experiments.WriteGridCSV(out, g)
+		}
+		return experiments.WriteGrid(out, g, cfg)
+	}
+	switch what {
+	case "fig5a":
+		return fig(experiments.Fig5a(cfg, nil))
+	case "fig5b":
+		return fig(experiments.Fig5b(cfg, nil))
+	case "fig5c":
+		return fig(experiments.Fig5c(cfg, nil))
+	case "fig5d":
+		return fig(experiments.Fig5d(cfg, nil))
+	case "fig6a":
+		return grid(experiments.Fig6(cfg, nil, nil, false))
+	case "fig6b":
+		return grid(experiments.Fig6(cfg, nil, nil, true))
+	case "extr":
+		results, err := experiments.ChurnRun(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteChurn(out, results, cfg, nil)
+	case "exta":
+		cmps, err := experiments.RunBursty(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteBursty(out, cmps, cfg)
+	case "extb":
+		be, reserved, err := experiments.BestEffortComparison(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteBestEffort(out, be, reserved, cfg)
+	case "extq":
+		pts, err := experiments.QualitySweep(cfg, nil, 0.5, 0.7)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteQuality(out, pts, cfg)
+	case "all":
+		for _, w := range []string{"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "extq", "extr", "extb", "exta"} {
+			if err := run(cfg, w); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "gantt":
+		return ganttDemo(out, cfg)
+	case "replicate":
+		return experiments.WriteReplicated(out, cfg, replicaCount)
+	case "point":
+		for _, sys := range workload.Systems {
+			r, err := experiments.Run(cfg, sys)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-8s admitted=%d rejected=%d util=%.3f horizon=%.1f chainShare=%v meanSlack=%.1f\n",
+				sys, r.Admitted, r.Rejected, r.Utilization, r.Horizon, r.ChainShare, r.MeanLateSlack)
+		}
+		fmt.Fprintf(out, "offered load: %.2f\n", cfg.OfferedLoad())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"milan/internal/experiments"
+)
+
+// testCfg is a tiny configuration so every subcommand runs in milliseconds.
+func testCfg() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Procs = 16
+	cfg.Jobs = 60
+	return cfg
+}
+
+func TestRunSubcommands(t *testing.T) {
+	old := replicaCount
+	replicaCount = 2
+	defer func() { replicaCount = old }()
+	for _, what := range []string{
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b",
+		"exta", "extq", "extr", "extb", "point", "replicate", "gantt",
+	} {
+		if err := run(testCfg(), what); err != nil {
+			t.Errorf("%s: %v", what, err)
+		}
+	}
+}
+
+func TestRunSubcommandsWithPlotAndCSV(t *testing.T) {
+	plotFigures = true
+	defer func() { plotFigures = false }()
+	if err := run(testCfg(), "fig5d"); err != nil {
+		t.Errorf("plot: %v", err)
+	}
+	plotFigures = false
+	csvFigures = true
+	defer func() { csvFigures = false }()
+	if err := run(testCfg(), "fig5a"); err != nil {
+		t.Errorf("csv fig: %v", err)
+	}
+	if err := run(testCfg(), "fig6a"); err != nil {
+		t.Errorf("csv grid: %v", err)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run(testCfg(), "bogus"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := testCfg()
+	cfg.Job.Alpha = 0.3 // 16*0.3 not integral
+	if err := run(cfg, "fig5a"); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Churn: machines join and leave the pool while soft real-time jobs hold
+// reservations.  The renegotiating arbitrator (Section 3.1's "triggers
+// renegotiation on detecting a significant change in resource levels")
+// follows the broker's pool, moving future tasks and aborting only what no
+// longer fits; rejected jobs wait and get rescued when capacity returns.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"milan"
+	"milan/internal/qos"
+	"milan/internal/resbroker"
+)
+
+func main() {
+	arb, err := milan.NewDynamicArbitrator(8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arb.OnRenegotiated = func(id int, g *milan.Grant) {
+		fmt.Printf("  renegotiated: job %d now finishes at t=%.0f\n", id, g.Finish())
+	}
+	arb.OnAborted = func(id int) {
+		fmt.Printf("  aborted: job %d no longer fits\n", id)
+	}
+
+	broker := resbroker.New(nil)
+	broker.Register(resbroker.Resource{ID: "smp-a", Procs: 4, Speed: 1})
+	broker.Register(resbroker.Resource{ID: "smp-b", Procs: 4, Speed: 1})
+	qos.AttachBroker(arb, broker, 0)
+
+	job := func(id int, procs int, dur, deadline float64) milan.Job {
+		return milan.Job{ID: id, Chains: []milan.Chain{
+			{Name: "wide", Quality: 1, Tasks: []milan.Task{
+				{Name: "w", Procs: procs, Duration: dur, Deadline: deadline},
+			}},
+			{Name: "narrow", Quality: 1, Tasks: []milan.Task{
+				{Name: "n", Procs: procs / 2, Duration: dur * 2, Deadline: deadline},
+			}},
+		}}
+	}
+
+	fmt.Println("pool: 8 processors (smp-a + smp-b)")
+	deadlines := map[int]float64{1: 200, 2: 200, 3: 200, 4: 15}
+	for id := 1; id <= 4; id++ {
+		j := job(id, 4, 10, deadlines[id])
+		g, err := arb.NegotiateOrWait(j, func(g *milan.Grant) {
+			fmt.Printf("  rescued: job %d admitted late, finishes at t=%.0f\n", g.JobID, g.Finish())
+		})
+		switch {
+		case errors.Is(err, milan.ErrRejected):
+			fmt.Printf("job %d: rejected (deadline %.0f), waiting for capacity\n", id, deadlines[id])
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("job %d: granted %q, finishes at t=%.0f\n", id, j.Chains[g.Chain].Name, g.Finish())
+		}
+	}
+
+	fmt.Println("\nsmp-b leaves the pool (capacity 8 -> 4):")
+	if err := broker.Deregister("smp-b"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\na bigger machine joins (capacity 4 -> 20):")
+	if err := broker.Register(resbroker.Resource{ID: "cluster-c", Procs: 16, Speed: 1.5}); err != nil {
+		log.Fatal(err)
+	}
+
+	st := arb.Stats()
+	fmt.Printf("\narbitrator stats: %d admitted, %d rejection events, %d renegotiated, %d aborted, %d rescued\n",
+		st.Admitted, st.Rejected, st.Renegotiated, st.Aborted, st.Rescued)
+}

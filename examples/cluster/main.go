@@ -1,0 +1,98 @@
+// Cluster deployment: the QoS arbitrator serves a TCP endpoint backed by a
+// resource-broker pool; QoS agents in separate goroutines (standing in for
+// separate processes on cluster nodes) negotiate reservations over the
+// wire, exactly as MILAN's distributed components would.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"milan"
+	"milan/internal/qos/qosnet"
+	"milan/internal/resbroker"
+	"milan/internal/workload"
+)
+
+func main() {
+	// Assemble the machine from broker-registered resources, as MILAN's
+	// ResourceBroker integrates machines into the pool.
+	broker := resbroker.New(resbroker.FastestFirst{})
+	broker.Subscribe(func(ev resbroker.Event) {
+		fmt.Printf("broker: %-12s free=%d\n", ev.Kind, ev.FreeProcs)
+	})
+	for _, r := range []resbroker.Resource{
+		{ID: "smp-a", Procs: 8, Speed: 1.0},
+		{ID: "smp-b", Procs: 8, Speed: 1.2},
+		{ID: "legacy", Procs: 4, Speed: 0.6},
+	} {
+		if err := broker.Register(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The arbitrator manages the pool the broker assembled for it.
+	binding, err := broker.Bind(resbroker.Request{Computation: "arbitrator", MinProcs: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arbitrator bound %d processors across %d resources\n\n", binding.Procs(), len(binding.Shares))
+
+	arb, err := milan.NewArbitrator(milan.ArbitratorConfig{Procs: binding.Procs()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := qosnet.ListenAndServe(arb, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("arbitrator listening on %s\n\n", srv.Addr())
+
+	// Eight client applications negotiate concurrently over TCP, each a
+	// tunable Figure-4 job.
+	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
+	var wg sync.WaitGroup
+	results := make([]string, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := qosnet.Dial(srv.Addr().String())
+			if err != nil {
+				results[i] = fmt.Sprintf("client %d: dial: %v", i, err)
+				return
+			}
+			defer cli.Close()
+			agent := milan.NewAgent(spec.Job(i, 0, workload.Tunable))
+			g, err := agent.NegotiateWith(cli)
+			switch {
+			case errors.Is(err, milan.ErrRejected):
+				results[i] = fmt.Sprintf("client %d: rejected (admission control)", i)
+			case err != nil:
+				results[i] = fmt.Sprintf("client %d: %v", i, err)
+			default:
+				results[i] = fmt.Sprintf("client %d: granted path %d, finish t=%.0f", i, g.Chain, g.Finish())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	cli, err := qosnet.Dial(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	st, err := cli.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narbitrator: %d admitted, %d rejected, chain choices %v\n",
+		st.Admitted, st.Rejected, st.TunableChosen)
+}

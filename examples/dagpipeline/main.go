@@ -1,0 +1,108 @@
+// DAG pipeline: a task_par program whose execution paths are precedence
+// graphs — audio and video analysis run concurrently between a prep and a
+// merge step.  The arbitrator schedules the fork-join on the machine,
+// picking the wide or narrow video configuration by what fits, and the
+// schedule is drawn as a Gantt chart.
+//
+//	go run ./examples/dagpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"milan"
+	"milan/internal/core"
+	"milan/internal/qos"
+)
+
+const program = `
+// Media pipeline: prep, then concurrent audio+video analysis, then merge.
+task_control_parameters { mode; }
+
+task prep deadline 20 {
+    config require 2 procs 5 time;
+}
+
+task_par analyses {
+    task audio deadline 60 {
+        config require 2 procs 10 time;
+    }
+    task video deadline 60 params (mode) {
+        config (mode = 1) require 6 procs 10 time quality 1.0;
+        config (mode = 2) require 2 procs 25 time quality 0.9;
+    }
+}
+
+task merge deadline 120 {
+    config require 2 procs 5 time;
+}
+`
+
+func main() {
+	graph, err := milan.ParseTunability("pipeline", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, procs := range []int{8, 4} {
+		fmt.Printf("=== machine with %d processors ===\n", procs)
+		sched := milan.NewScheduler(procs, 0, nil)
+		var placements []*milan.Placement
+		for id := 0; id < 2; id++ {
+			job, envs, err := graph.DAGJob(id, 0, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			agent := qos.NewDAGAgent(job)
+			g, err := agent.NegotiateWith(dagSched{sched})
+			if err != nil {
+				fmt.Printf("job %d: rejected\n", id)
+				continue
+			}
+			fmt.Printf("job %d: mode=%v quality=%.1f makespan=%.0f "+
+				"(audio [%.0f,%.0f) ∥ video [%.0f,%.0f))\n",
+				id, envs[g.Chain]["mode"], g.Quality, dagFinish(g),
+				g.Placement.Tasks[1].Start, g.Placement.Tasks[1].Finish,
+				g.Placement.Tasks[2].Start, g.Placement.Tasks[2].Finish)
+			pl := g.Placement
+			placements = append(placements, &pl)
+		}
+		asn, err := milan.AssignProcessors(procs, placements)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := core.RenderGantt(os.Stdout, procs, asn, 72); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// dagSched adapts a Scheduler to the DAGNegotiator interface.
+type dagSched struct{ s *milan.Scheduler }
+
+func (d dagSched) NegotiateDAG(job milan.DAGJob) (*qos.Grant, error) {
+	pl, err := d.s.AdmitDAG(job)
+	if err != nil {
+		return nil, err
+	}
+	return &qos.Grant{
+		JobID:     job.ID,
+		Chain:     pl.Chain,
+		Quality:   job.Alts[pl.Chain].Quality,
+		Placement: *pl,
+	}, nil
+}
+
+func dagFinish(g *qos.Grant) float64 {
+	f := 0.0
+	for _, tp := range g.Placement.Tasks {
+		if tp.Finish > f {
+			f = tp.Finish
+		}
+	}
+	return f
+}

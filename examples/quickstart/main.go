@@ -1,0 +1,109 @@
+// Quickstart: express a tunable job in the tunability language, negotiate
+// it with the QoS arbitrator, and inspect the granted reservation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"milan"
+	"milan/internal/core"
+)
+
+// A two-step media-processing job with two execution paths: an expensive
+// first pass with a cheap refinement, or a cheap first pass compensated by
+// an expensive refinement — the resource-over-time tradeoff the paper calls
+// tunability.
+const program = `
+task_control_parameters { passes; budget; }
+
+task analyze deadline 30 params (passes) {
+    config (passes = 2) require 8 procs 10 time quality 1.0;  // thorough pass
+    config (passes = 1) require 2 procs 10 time quality 0.95; // quick pass
+}
+
+task_select refine {
+    when (passes == 2) {
+        task refineLight deadline 60 params (budget) {
+            config (budget = 1) require 2 procs 10 time quality 1.0;
+        }
+    } finally { }
+    when (passes == 1) {
+        task refineHeavy deadline 60 params (budget) {
+            config (budget = 4) require 8 procs 12 time quality 0.97;
+        }
+    } finally { }
+}
+`
+
+func main() {
+	graph, err := milan.ParseTunability("quickstart", program)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+
+	arb, err := milan.NewArbitrator(milan.ArbitratorConfig{Procs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Occupy most of the machine early so the cheap-first path becomes the
+	// attractive one for a job arriving now.
+	hog := milan.Job{ID: 0, Chains: []milan.Chain{{
+		Name:  "background",
+		Tasks: []milan.Task{{Name: "batch", Procs: 6, Duration: 15, Deadline: 15}},
+	}}}
+	hogAgent := milan.NewAgent(hog)
+	if _, err := hogAgent.NegotiateWith(arb); err != nil {
+		log.Fatalf("background job: %v", err)
+	}
+
+	job, envs, err := graph.Job(1, 0, 0)
+	if err != nil {
+		log.Fatalf("materialize: %v", err)
+	}
+	fmt.Printf("job %q offers %d execution paths:\n", job.Name, len(job.Chains))
+	for i, c := range job.Chains {
+		fmt.Printf("  path %d (%s, quality %.2f):", i, c.Name, c.Quality)
+		for _, t := range c.Tasks {
+			fmt.Printf("  %s=%dx%.0f(dl %.0f)", t.Name, t.Procs, t.Duration, t.Deadline)
+		}
+		fmt.Println()
+	}
+
+	agent := milan.NewAgent(job)
+	agent.Configure = func(g *milan.Grant) {
+		fmt.Printf("configuring application with control parameters %v\n", envs[g.Chain])
+	}
+	grant, err := agent.NegotiateWith(arb)
+	if err != nil {
+		log.Fatalf("negotiate: %v", err)
+	}
+
+	fmt.Printf("granted path %d (quality %.2f), finishing at t=%.1f:\n", grant.Chain, grant.Quality, grant.Finish())
+	for _, tp := range grant.Placement.Tasks {
+		fmt.Printf("  task %d: %d procs over [%.1f, %.1f)\n", tp.Task, tp.Procs, tp.Start, tp.Finish)
+	}
+
+	// Bind every reservation (background job + this one) to concrete
+	// processors and draw the schedule.
+	hogGrant := hogAgent.Grant()
+	asn, err := milan.AssignProcessors(8, []*milan.Placement{&hogGrant.Placement, &grant.Placement})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range asn {
+		if a.JobID == job.ID {
+			fmt.Printf("  task %d runs on processors %v\n", a.Task, a.Procs)
+		}
+	}
+
+	fmt.Printf("machine utilization over [0, %.0f]: %.1f%%\n\n",
+		grant.Finish(), 100*arb.Utilization(0, grant.Finish()))
+	if err := core.RenderGantt(os.Stdout, 8, asn, 64); err != nil {
+		log.Fatal(err)
+	}
+}

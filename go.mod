@@ -1,0 +1,3 @@
+module milan
+
+go 1.22

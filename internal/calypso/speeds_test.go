@@ -1,0 +1,80 @@
+package calypso
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpeedsValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 2, Speeds: []float64{1}}); err == nil {
+		t.Error("mismatched speeds length accepted")
+	}
+	if _, err := New(Config{Workers: 2, Speeds: []float64{1, 0}}); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := New(Config{Workers: 2, Speeds: []float64{1, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlowWorkerMaskedByEagerScheduling: one worker at 1% speed; the fast
+// workers' eager duplicates win every commit race and the step finishes
+// far sooner than the slow worker's stretched execution.
+func TestSlowWorkerMaskedByEagerScheduling(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Speeds: []float64{0.01, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const width = 8
+	start := time.Now()
+	err = rt.Parallel(width, func(ctx *TaskCtx, w, n int) error {
+		// ~5ms of real work per execution: the slow worker would stretch
+		// it to ~500ms.
+		deadline := time.Now().Add(5 * time.Millisecond)
+		for time.Now().Before(deadline) {
+		}
+		ctx.Write(fmt.Sprintf("r.%d", n), n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("step took %v: slow worker not masked", elapsed)
+	}
+	if rt.Store().Len() != width {
+		t.Fatalf("results = %d, want %d", rt.Store().Len(), width)
+	}
+}
+
+// TestUniformSpeedsNoOverhead: speed 1 everywhere adds no delay path.
+func TestUniformSpeedsNoOverhead(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Speeds: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Parallel(4, func(ctx *TaskCtx, w, n int) error {
+		ctx.Write(fmt.Sprintf("k.%d", n), n)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Store().Len() != 4 {
+		t.Fatal("missing results")
+	}
+}
+
+func TestSpeedLookup(t *testing.T) {
+	rt, _ := New(Config{Workers: 2, Speeds: []float64{0.5, 2}})
+	if rt.speed(0) != 0.5 || rt.speed(1) != 2 {
+		t.Fatal("speed lookup wrong")
+	}
+	if rt.speed(99) != 1 {
+		t.Fatal("out-of-range speed not defaulted")
+	}
+	plain, _ := New(Config{Workers: 2})
+	if plain.speed(0) != 1 {
+		t.Fatal("nil speeds not defaulted")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Assignment binds one placed task to a concrete set of processor IDs for
+// its whole (non-preemptive) interval.  The QoS arbitrator communicates
+// these bindings back to each application's QoS agent.
+type Assignment struct {
+	JobID  int
+	Task   int
+	Start  float64
+	Finish float64
+	Procs  []int // processor IDs, sorted ascending
+}
+
+// AssignProcessors converts count-based placements into concrete
+// processor-ID bindings such that no processor is double-booked and each
+// task holds the same processors throughout its interval.
+//
+// Feasibility is guaranteed whenever the placements respect the capacity
+// profile: splitting each task into Procs unit-demand intervals yields an
+// interval graph with clique number at most `capacity`, and interval graphs
+// are perfect, so a left-to-right greedy coloring with `capacity` colors
+// always succeeds.  An error therefore indicates an invalid (over-committed)
+// placement set.
+func AssignProcessors(capacity int, placements []*Placement) ([]Assignment, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: assign: capacity %d must be >= 1", capacity)
+	}
+	var tasks []Assignment
+	var counts []int
+	for _, pl := range placements {
+		for _, tp := range pl.Tasks {
+			tasks = append(tasks, Assignment{
+				JobID:  pl.JobID,
+				Task:   tp.Task,
+				Start:  tp.Start,
+				Finish: tp.Finish,
+				Procs:  make([]int, 0, tp.Procs),
+			})
+			counts = append(counts, tp.Procs)
+		}
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := tasks[order[a]], tasks[order[b]]
+		if !timeEq(ta.Start, tb.Start) {
+			return ta.Start < tb.Start
+		}
+		return ta.Finish < tb.Finish
+	})
+
+	free := &intHeap{}
+	for id := 0; id < capacity; id++ {
+		free.push(id)
+	}
+	active := &releaseHeap{}
+
+	for _, idx := range order {
+		t := &tasks[idx]
+		// Return processors of every task finished by this start time
+		// (intervals are half-open, so finish == start does not conflict).
+		for active.Len() > 0 && timeLeq((*active)[0].finish, t.Start) {
+			rel := heap.Pop(active).(release)
+			for _, id := range rel.procs {
+				free.push(id)
+			}
+		}
+		need := counts[idx]
+		if free.Len() < need {
+			return nil, fmt.Errorf("core: assign: job %d task %d at %v needs %d processors, only %d free",
+				t.JobID, t.Task, t.Start, need, free.Len())
+		}
+		for k := 0; k < need; k++ {
+			t.Procs = append(t.Procs, free.pop())
+		}
+		sort.Ints(t.Procs)
+		heap.Push(active, release{finish: t.Finish, procs: t.Procs})
+	}
+	return tasks, nil
+}
+
+// release records processors to be returned to the free pool when a task
+// finishes.
+type release struct {
+	finish float64
+	procs  []int
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int            { return len(h) }
+func (h releaseHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
+func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// intHeap is a min-heap of processor IDs so assignments are deterministic
+// (lowest free IDs first).
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h *intHeap) push(id int) { heap.Push(h, id) }
+func (h *intHeap) pop() int    { return heap.Pop(h).(int) }

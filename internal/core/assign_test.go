@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignProcessorsSimple(t *testing.T) {
+	placements := []*Placement{
+		{JobID: 1, Tasks: []TaskPlacement{{Task: 0, Start: 0, Finish: 10, Procs: 2}}},
+		{JobID: 2, Tasks: []TaskPlacement{{Task: 0, Start: 0, Finish: 5, Procs: 2}}},
+		{JobID: 3, Tasks: []TaskPlacement{{Task: 0, Start: 5, Finish: 12, Procs: 2}}},
+	}
+	asn, err := AssignProcessors(4, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(asn))
+	}
+	checkAssignments(t, 4, asn)
+	// Job 3 reuses job 2's processors (released at t=5, lowest-ID-first).
+	var j2, j3 []int
+	for _, a := range asn {
+		switch a.JobID {
+		case 2:
+			j2 = a.Procs
+		case 3:
+			j3 = a.Procs
+		}
+	}
+	if len(j2) != 2 || len(j3) != 2 {
+		t.Fatalf("j2=%v j3=%v", j2, j3)
+	}
+	for i := range j2 {
+		if j2[i] != j3[i] {
+			t.Errorf("job 3 did not reuse job 2's processors: %v vs %v", j3, j2)
+		}
+	}
+}
+
+func TestAssignProcessorsBackToBackReuse(t *testing.T) {
+	// Half-open intervals: a task finishing at t frees processors for a
+	// task starting at t, even at full machine width.
+	placements := []*Placement{
+		{JobID: 1, Tasks: []TaskPlacement{{Task: 0, Start: 0, Finish: 10, Procs: 4}}},
+		{JobID: 2, Tasks: []TaskPlacement{{Task: 0, Start: 10, Finish: 20, Procs: 4}}},
+	}
+	asn, err := AssignProcessors(4, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssignments(t, 4, asn)
+}
+
+func TestAssignProcessorsDetectsOvercommit(t *testing.T) {
+	placements := []*Placement{
+		{JobID: 1, Tasks: []TaskPlacement{{Task: 0, Start: 0, Finish: 10, Procs: 3}}},
+		{JobID: 2, Tasks: []TaskPlacement{{Task: 0, Start: 5, Finish: 15, Procs: 3}}},
+	}
+	if _, err := AssignProcessors(4, placements); err == nil {
+		t.Fatal("overcommitted placements assigned without error")
+	}
+}
+
+func TestAssignProcessorsRejectsBadCapacity(t *testing.T) {
+	if _, err := AssignProcessors(0, nil); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestAssignProcessorsEmpty(t *testing.T) {
+	asn, err := AssignProcessors(4, nil)
+	if err != nil || len(asn) != 0 {
+		t.Fatalf("empty input: asn=%v err=%v", asn, err)
+	}
+}
+
+// TestQuickAssignmentsAlwaysFeasibleForValidSchedules: whatever the greedy
+// scheduler admits can always be bound to concrete processors with no
+// double-booking — the interval-coloring argument in the doc comment.
+func TestQuickAssignmentsAlwaysFeasibleForValidSchedules(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 3 + rng.Intn(10)
+		s := NewScheduler(capacity, 0, nil)
+		var placements []*Placement
+		release := 0.0
+		for i := 0; i < 10+int(nRaw%50); i++ {
+			release += rng.Float64() * 8
+			dur := 1 + rng.Float64()*12
+			job := Job{ID: i, Release: release, Chains: []Chain{
+				{Tasks: []Task{
+					{Procs: 1 + rng.Intn(capacity), Duration: dur, Deadline: release + dur*4},
+					{Procs: 1 + rng.Intn(capacity), Duration: dur / 2, Deadline: release + dur*8},
+				}},
+			}}
+			if pl, err := s.Admit(job); err == nil {
+				placements = append(placements, pl)
+			}
+		}
+		asn, err := AssignProcessors(capacity, placements)
+		if err != nil {
+			return false
+		}
+		return assignmentsDisjoint(capacity, asn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkAssignments fails the test if any processor is double-booked or any
+// assignment is malformed.
+func checkAssignments(t *testing.T, capacity int, asn []Assignment) {
+	t.Helper()
+	if !assignmentsDisjoint(capacity, asn) {
+		t.Fatalf("assignments overlap: %+v", asn)
+	}
+}
+
+func assignmentsDisjoint(capacity int, asn []Assignment) bool {
+	for i, a := range asn {
+		for _, id := range a.Procs {
+			if id < 0 || id >= capacity {
+				return false
+			}
+		}
+		seen := map[int]bool{}
+		for _, id := range a.Procs {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		for j := i + 1; j < len(asn); j++ {
+			b := asn[j]
+			if timeLeq(a.Finish, b.Start) || timeLeq(b.Finish, a.Start) {
+				continue // no time overlap
+			}
+			for _, x := range a.Procs {
+				for _, y := range b.Procs {
+					if x == y {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

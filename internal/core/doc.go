@@ -1,0 +1,20 @@
+// Package core implements the scheduling model of the MILAN QoS arbitrator:
+// dynamic admission control and placement of parallel real-time jobs on a
+// fixed set of homogeneous processors.
+//
+// A job is a chain of non-preemptible tasks; a tunable job carries several
+// alternative chains (the enumerated paths of its OR task graph) and the
+// scheduler is free to pick any one of them.  Each task either has a fixed
+// rectangular resource requirement (Procs processors for Duration time) or is
+// malleable (Work processor-time units on up to MaxProcs processors with
+// linear speedup).  Task deadlines are absolute: a task and all of its
+// predecessors must finish by the task's deadline.
+//
+// The scheduler is the greedy first-fit heuristic of Section 5.2 of the
+// paper: it tracks the available maximal holes in the processor-time plane,
+// places each task of a candidate chain at its earliest feasible start time,
+// admits a job iff at least one of its chains fits entirely, and breaks ties
+// between schedulable chains in favor of earliest finish time, then higher
+// utilization over the job's [release, finish] window, then a
+// lexicographically smaller cumulative resource prefix.
+package core

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderGantt draws a processor-time Gantt chart of concrete assignments:
+// one row per processor, time flowing right, each task labeled by its job
+// ID (mod 10 past one digit).  It is the visual complement of the
+// maximal-holes view — holes appear as runs of dots.
+func RenderGantt(w io.Writer, capacity int, asn []Assignment, width int) error {
+	if capacity < 1 {
+		return fmt.Errorf("core: gantt capacity %d", capacity)
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if len(asn) == 0 {
+		fmt.Fprintln(w, "(empty schedule)")
+		return nil
+	}
+	t0, t1 := asn[0].Start, asn[0].Finish
+	for _, a := range asn {
+		if a.Start < t0 {
+			t0 = a.Start
+		}
+		if a.Finish > t1 {
+			t1 = a.Finish
+		}
+	}
+	if t1-t0 < 1e-9 {
+		t1 = t0 + 1
+	}
+	col := func(t float64) int {
+		c := int((t - t0) / (t1 - t0) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	rows := make([][]byte, capacity)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	sorted := append([]Assignment(nil), asn...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	for _, a := range sorted {
+		mark := byte('0' + a.JobID%10)
+		lo, hi := col(a.Start), col(a.Finish)
+		if hi == lo {
+			hi = lo + 1
+		}
+		for _, proc := range a.Procs {
+			if proc < 0 || proc >= capacity {
+				return fmt.Errorf("core: gantt: processor %d out of range", proc)
+			}
+			for c := lo; c < hi && c < width; c++ {
+				rows[proc][c] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "t=%-10.4g%*s\n", t0, width-1, fmt.Sprintf("t=%.4g", t1))
+	for p := capacity - 1; p >= 0; p-- {
+		fmt.Fprintf(w, "cpu%-2d |%s|\n", p, rows[p])
+	}
+	return nil
+}

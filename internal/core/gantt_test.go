@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderGantt(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	var placements []*Placement
+	for i, job := range []Job{
+		{ID: 1, Chains: []Chain{{Tasks: []Task{rect("a", 2, 10, 100)}}}},
+		{ID: 2, Chains: []Chain{{Tasks: []Task{rect("b", 2, 10, 100)}}}},
+		{ID: 3, Chains: []Chain{{Tasks: []Task{rect("c", 4, 5, 100)}}}},
+	} {
+		job.ID = i + 1
+		pl := mustAdmit(t, s, job)
+		placements = append(placements, pl)
+	}
+	asn, err := AssignProcessors(4, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderGantt(&sb, 4, asn, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cpu0 ", "cpu3 ", "1", "2", "3", "t=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// 4 cpu rows + header.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("lines = %d, want 5:\n%s", got, out)
+	}
+}
+
+func TestRenderGanttEdgeCases(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderGantt(&sb, 2, nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty schedule") {
+		t.Error("empty schedule not reported")
+	}
+	if err := RenderGantt(&sb, 0, nil, 20); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	bad := []Assignment{{JobID: 1, Start: 0, Finish: 5, Procs: []int{7}}}
+	if err := RenderGantt(&sb, 2, bad, 20); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	// Degenerate time span must not divide by zero.
+	point := []Assignment{{JobID: 1, Start: 3, Finish: 3, Procs: []int{0}}}
+	if err := RenderGantt(&sb, 1, point, 20); err != nil {
+		t.Fatal(err)
+	}
+}

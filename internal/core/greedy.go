@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRejected is returned by Admit when no chain of the job can be scheduled
+// to meet its deadlines; the job fails admission control.
+var ErrRejected = errors.New("core: job rejected by admission control")
+
+// Stats accumulates scheduler-level counters over a run.
+type Stats struct {
+	Admitted      int
+	Rejected      int
+	TunableChosen []int // per-chain-index selection counts for tunable jobs
+	ReservedArea  float64
+	// QualitySum is the total output quality of the chosen chains; divided
+	// by Admitted it is the mean achieved job quality.
+	QualitySum float64
+}
+
+// MeanQuality returns the mean output quality over admitted jobs.
+func (s Stats) MeanQuality() float64 {
+	if s.Admitted == 0 {
+		return 0
+	}
+	return s.QualitySum / float64(s.Admitted)
+}
+
+// Scheduler implements the QoS arbitrator's scheduling decisions: online
+// admission control and reservation of processor-time for jobs arriving over
+// time (Section 5.2's greedy heuristic).
+//
+// A Scheduler is not safe for concurrent use; the arbitrator serializes
+// admissions (negotiations are independent requests ordered by arrival).
+type Scheduler struct {
+	prof *Profile
+	opts Options
+	stat Stats
+}
+
+// NewScheduler returns a scheduler managing `procs` homogeneous processors
+// from time origin, using the zero Options (the paper's configuration) if
+// opts is nil.
+func NewScheduler(procs int, origin float64, opts *Options) *Scheduler {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return &Scheduler{prof: NewProfile(procs, origin), opts: o}
+}
+
+// Procs returns the machine size.
+func (s *Scheduler) Procs() int { return s.prof.Capacity() }
+
+// Profile exposes the underlying capacity profile (read-mostly; callers must
+// not reserve through it directly).
+func (s *Scheduler) Profile() *Profile { return s.prof }
+
+// Stats returns a copy of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	st := s.stat
+	st.TunableChosen = append([]int(nil), s.stat.TunableChosen...)
+	return st
+}
+
+// Observe informs the scheduler that simulated time has advanced to now,
+// letting it fold fully elapsed reservations into its utilization
+// accounting.  Admission decisions are unaffected.
+func (s *Scheduler) Observe(now float64) { s.prof.TrimBefore(now) }
+
+// BusyUpTo returns total reserved processor-time from the origin up to t.
+func (s *Scheduler) BusyUpTo(t float64) float64 { return s.prof.BusyUpTo(t) }
+
+// Utilization returns the fraction of machine capacity reserved between the
+// origin and horizon.
+func (s *Scheduler) Utilization(origin, horizon float64) float64 {
+	if !timeLess(origin, horizon) {
+		return 0
+	}
+	return s.prof.BusyUpTo(horizon) / (float64(s.prof.Capacity()) * (horizon - origin))
+}
+
+// Admit runs admission control for a job arriving at job.Release.  If some
+// chain of the job can be placed so every task meets its deadline, Admit
+// commits the reservation and returns the placement; otherwise it returns
+// ErrRejected and the schedule is unchanged.
+func (s *Scheduler) Admit(job Job) (*Placement, error) {
+	if err := job.Validate(); err != nil {
+		return nil, fmt.Errorf("core: admit: %w", err)
+	}
+	pl, ok := s.Plan(job)
+	if !ok {
+		s.stat.Rejected++
+		return nil, ErrRejected
+	}
+	if err := s.Commit(job, pl); err != nil {
+		return nil, err // internal inconsistency: plan no longer fits
+	}
+	return pl, nil
+}
+
+// Plan evaluates the job without committing anything, returning the chosen
+// placement and whether the job is schedulable.  Plan+Commit allows the
+// arbitrator to interpose policy (e.g. quality maximization across jobs)
+// between feasibility analysis and reservation.
+func (s *Scheduler) Plan(job Job) (*Placement, bool) {
+	var best *Placement
+	var bestKey chainKey
+	for ci, chain := range job.Chains {
+		tasks, ok := s.placeChain(chain, job.Release)
+		if !ok {
+			continue
+		}
+		pl := &Placement{JobID: job.ID, Chain: ci, Tasks: tasks}
+		key := s.chainSortKey(pl, chain, job.Release)
+		if best == nil || s.better(key, bestKey) {
+			best, bestKey = pl, key
+		}
+		if s.opts.TieBreak == TieBreakFirstFit {
+			break
+		}
+	}
+	return best, best != nil
+}
+
+// Commit reserves the processor-time described by a placement previously
+// returned by Plan for this job.
+func (s *Scheduler) Commit(job Job, pl *Placement) error {
+	for i, tp := range pl.Tasks {
+		if err := s.prof.Reserve(tp.Procs, tp.Start, tp.Finish); err != nil {
+			// Roll back what was reserved so far by rebuilding is not
+			// possible with the additive profile; callers must only commit
+			// placements planned against the current schedule.  Surface the
+			// inconsistency loudly.
+			return fmt.Errorf("core: commit task %d of job %d: %w", i, job.ID, err)
+		}
+	}
+	s.stat.Admitted++
+	s.stat.ReservedArea += pl.Area()
+	s.stat.QualitySum += job.Chains[pl.Chain].Quality
+	if job.Tunable() {
+		for len(s.stat.TunableChosen) <= pl.Chain {
+			s.stat.TunableChosen = append(s.stat.TunableChosen, 0)
+		}
+		s.stat.TunableChosen[pl.Chain]++
+	}
+	return nil
+}
+
+// PlaceChain places one chain's tasks with the first task released at
+// `release`, without committing anything.  It is the building block the
+// arbitrator uses to re-plan the remaining suffix of an in-flight job
+// during renegotiation.
+func (s *Scheduler) PlaceChain(chain Chain, release float64) ([]TaskPlacement, bool) {
+	return s.placeChain(chain, release)
+}
+
+// ReserveSlot commits a raw processor-time rectangle (used when
+// re-admitting the already-running task of a job after a capacity change:
+// non-preemptive tasks keep their slot verbatim or die).
+func (s *Scheduler) ReserveSlot(procs int, start, finish float64) error {
+	return s.prof.Reserve(procs, start, finish)
+}
+
+// ReservePlacement commits every task of a placement without touching
+// admission statistics (renegotiation bookkeeping).
+func (s *Scheduler) ReservePlacement(pl *Placement) error {
+	for i, tp := range pl.Tasks {
+		if err := s.prof.Reserve(tp.Procs, tp.Start, tp.Finish); err != nil {
+			return fmt.Errorf("core: reserve placement task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// chainKey carries the paper's tie-breaking criteria for one schedulable
+// chain: earliest finish, then utilization over [release, finish], then the
+// cumulative resource prefix, then chain order (implicit in scan order).
+type chainKey struct {
+	finish  float64
+	util    float64
+	area    float64   // total reserved area (for TieBreakMinArea)
+	quality float64   // chain output quality (for TieBreakMaxQuality)
+	prefix  []float64 // cumulative processor-time after each task
+}
+
+func (s *Scheduler) chainSortKey(pl *Placement, chain Chain, release float64) chainKey {
+	finish := pl.Finish()
+	window := finish - release
+	var util float64
+	if window > Eps {
+		// Existing reservations in the window plus this chain's own area.
+		util = (s.prof.BusyOn(maxTime(release, s.prof.Origin()), finish) + pl.Area()) /
+			(float64(s.prof.Capacity()) * window)
+	}
+	prefix := make([]float64, len(pl.Tasks))
+	var cum float64
+	for i, tp := range pl.Tasks {
+		cum += float64(tp.Procs) * tp.Duration()
+		prefix[i] = cum
+	}
+	return chainKey{finish: finish, util: util, area: pl.Area(), quality: chain.Quality, prefix: prefix}
+}
+
+// better reports whether candidate key a beats the incumbent key b under the
+// configured tie-break policy.  Strict inequality is required everywhere so
+// that, on full ties, the earlier-declared chain wins (deterministic).
+func (s *Scheduler) better(a, b chainKey) bool {
+	switch s.opts.TieBreak {
+	case TieBreakMinArea:
+		if !timeEq(a.area, b.area) {
+			return a.area < b.area
+		}
+		return timeLess(a.finish, b.finish)
+	case TieBreakUtilFirst:
+		if !timeEq(a.util, b.util) {
+			return a.util > b.util
+		}
+		if c := comparePrefix(a.prefix, b.prefix); c != 0 {
+			return c < 0
+		}
+		return timeLess(a.finish, b.finish)
+	case TieBreakMaxQuality:
+		if !timeEq(a.quality, b.quality) {
+			return a.quality > b.quality
+		}
+		if !timeEq(a.finish, b.finish) {
+			return a.finish < b.finish
+		}
+		if !timeEq(a.util, b.util) {
+			return a.util > b.util
+		}
+		return comparePrefix(a.prefix, b.prefix) < 0
+	default: // TieBreakPaper (and TieBreakFirstFit, which never reaches here)
+		if !timeEq(a.finish, b.finish) {
+			return a.finish < b.finish
+		}
+		if !timeEq(a.util, b.util) {
+			return a.util > b.util
+		}
+		return comparePrefix(a.prefix, b.prefix) < 0
+	}
+}
+
+// comparePrefix orders chains by "fewer total resources for some prefix of
+// their tasks": cumulative processor-time is compared task by task and the
+// chain that has consumed less at the first point of difference wins (it
+// frees resources for near-term arrivals).  Returns -1, 0 or +1.
+func comparePrefix(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !timeEq(a[i], b[i]) {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// earliestFit dispatches to the configured placement engine.
+func (s *Scheduler) earliestFit(procs int, duration, est, deadline float64) (float64, bool) {
+	return s.earliestFitOn(s.prof, procs, duration, est, deadline)
+}
+
+// earliestFitOn is earliestFit against an explicit profile (used for
+// tentative DAG planning on a scratch copy).
+func (s *Scheduler) earliestFitOn(p *Profile, procs int, duration, est, deadline float64) (float64, bool) {
+	if s.opts.Engine == EngineHoles {
+		return p.EarliestFitHoles(procs, duration, est, deadline)
+	}
+	return p.EarliestFit(procs, duration, est, deadline)
+}
+
+// placeChain attempts to place every task of the chain, with the first task
+// released at `release`.  Within one chain, successive tasks occupy disjoint
+// time intervals (task i+1 starts no earlier than task i finishes), so
+// placements can be evaluated against the uncommitted profile.
+func (s *Scheduler) placeChain(chain Chain, release float64) ([]TaskPlacement, bool) {
+	if s.opts.ChainPlacer == PlaceBacktrack {
+		return s.placeChainBacktrack(chain, release)
+	}
+	out := make([]TaskPlacement, 0, len(chain.Tasks))
+	est := release
+	for i, t := range chain.Tasks {
+		tp, ok := s.placeTask(t, i, est)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, tp)
+		est = tp.Finish
+	}
+	return out, true
+}
+
+// placeTask finds the earliest placement of a single task with earliest
+// start est; for malleable tasks it also chooses the processor count.
+func (s *Scheduler) placeTask(t Task, index int, est float64) (TaskPlacement, bool) {
+	return s.placeTaskOn(s.prof, t, index, est)
+}
+
+// placeTaskOn is placeTask against an explicit profile.
+func (s *Scheduler) placeTaskOn(p *Profile, t Task, index int, est float64) (TaskPlacement, bool) {
+	if !t.Malleable {
+		start, ok := s.earliestFitOn(p, t.Procs, t.Duration, est, t.Deadline)
+		if !ok {
+			return TaskPlacement{}, false
+		}
+		return TaskPlacement{Task: index, Start: start, Finish: start + t.Duration, Procs: t.Procs}, true
+	}
+	return s.placeMalleableOn(p, t, index, est)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hole is a maximal free rectangle in the processor-time plane: Procs
+// processors are free throughout [Start, End), and the rectangle cannot be
+// enlarged in either time direction without losing availability (Section 5.2
+// of the paper represents the schedule as the set of such triples).
+// End is +inf for holes that extend past the last reservation.
+type Hole struct {
+	Start float64
+	End   float64
+	Procs int
+}
+
+// Contains reports whether h fully contains g (g is redundant given h).
+func (h Hole) Contains(g Hole) bool {
+	return timeLeq(h.Start, g.Start) && timeLeq(g.End, h.End) && g.Procs <= h.Procs
+}
+
+// MaximalHoles enumerates the maximal holes of the profile at or after time
+// from, ordered by start time.  A hole's Procs is the minimum availability
+// over its span, and extending the span in either direction would reduce
+// that minimum (or run past `from` on the left).
+//
+// The enumeration is the histogram-of-availability "all maximal rectangles"
+// computation: for every segment, the rectangle of that segment's
+// availability extended left and right while availability stays at least as
+// large, deduplicated.
+func (p *Profile) MaximalHoles(from float64) []Hole {
+	from = maxTime(from, p.times[0])
+	lo := p.seg(from)
+	n := len(p.times)
+
+	type span struct{ l, r int } // segment index range [l, r]
+	seen := make(map[span]bool)
+	var holes []Hole
+
+	for i := lo; i < n; i++ {
+		avail := p.capacity - p.used[i]
+		if avail <= 0 {
+			continue
+		}
+		l := i
+		for l > lo && p.capacity-p.used[l-1] >= avail {
+			l--
+		}
+		r := i
+		for r < n-1 && p.capacity-p.used[r+1] >= avail {
+			r++
+		}
+		// The true height of the maximal rectangle spanning [l, r] is the
+		// minimum availability over it, which by construction is avail only
+		// if segment i is (one of) the minima; recompute to deduplicate
+		// different i yielding the same span.
+		min := avail
+		for k := l; k <= r; k++ {
+			if a := p.capacity - p.used[k]; a < min {
+				min = a
+			}
+		}
+		sp := span{l, r}
+		if seen[sp] {
+			continue
+		}
+		seen[sp] = true
+		start := p.times[l]
+		if l == lo {
+			start = maxTime(p.times[l], from)
+		}
+		end := Inf
+		if r < n-1 {
+			end = p.times[r+1]
+		}
+		holes = append(holes, Hole{Start: start, End: end, Procs: min})
+	}
+	sort.Slice(holes, func(a, b int) bool {
+		if !timeEq(holes[a].Start, holes[b].Start) {
+			return holes[a].Start < holes[b].Start
+		}
+		return holes[a].Procs > holes[b].Procs
+	})
+	return holes
+}
+
+// EarliestFitHoles answers the same question as Profile.EarliestFit but by
+// scanning the maximal-hole set: the earliest s >= est with procs processors
+// free over [s, s+duration) and s+duration <= deadline.  It exists both as
+// the paper-literal formulation and as a cross-check oracle for the
+// segment-scanning implementation.
+func (p *Profile) EarliestFitHoles(procs int, duration, est, deadline float64) (float64, bool) {
+	if procs > p.capacity || duration <= 0 {
+		return 0, false
+	}
+	holes := p.MaximalHoles(est)
+	best := math.Inf(1)
+	found := false
+	for _, h := range holes {
+		if h.Procs < procs {
+			continue
+		}
+		s := maxTime(h.Start, est)
+		if !timeLeq(s+duration, h.End) {
+			continue
+		}
+		if !timeLeq(s+duration, deadline) {
+			continue
+		}
+		if s < best {
+			best = s
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// validateHoles panics if the hole set is inconsistent with the profile;
+// used by tests and the race-enabled integration suite.
+func (p *Profile) validateHoles(holes []Hole, from float64) error {
+	for _, h := range holes {
+		if h.Procs < 1 {
+			return fmt.Errorf("hole %+v: non-positive height", h)
+		}
+		end := h.End
+		if math.IsInf(end, 1) {
+			end = p.LastBreak() + 1
+		}
+		if got := p.MinAvailOn(maxTime(h.Start, from), end); got < h.Procs {
+			return fmt.Errorf("hole %+v: profile has only %d free", h, got)
+		}
+	}
+	for i, h := range holes {
+		for j, g := range holes {
+			if i != j && h.Contains(g) && !(g.Contains(h)) {
+				return fmt.Errorf("hole %+v contained in %+v: not maximal", g, h)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile is the scheduler's view of committed capacity over time: a
+// piecewise-constant "used processors" function on [origin, +inf).  Segment i
+// covers [times[i], times[i+1]) (the last segment extends to +inf) and uses
+// used[i] processors.  Because every reservation is finite, the final segment
+// always has zero usage.
+//
+// The profile only ever grows at reservation boundaries; history strictly
+// before the simulation clock can be folded away with TrimBefore, which
+// preserves the integral of usage (for utilization accounting) while keeping
+// the segment list short in long runs.
+type Profile struct {
+	capacity int
+	times    []float64
+	used     []int
+
+	trimmedBusy float64 // processor-time integral folded away by TrimBefore
+}
+
+// NewProfile returns an empty profile for capacity processors starting at
+// time origin.
+func NewProfile(capacity int, origin float64) *Profile {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: profile capacity %d must be >= 1", capacity))
+	}
+	return &Profile{
+		capacity: capacity,
+		times:    []float64{origin},
+		used:     []int{0},
+	}
+}
+
+// Capacity returns the total number of processors.
+func (p *Profile) Capacity() int { return p.capacity }
+
+// Origin returns the earliest time the profile still represents explicitly.
+func (p *Profile) Origin() float64 { return p.times[0] }
+
+// Segments returns the number of explicit segments (for tests and stats).
+func (p *Profile) Segments() int { return len(p.times) }
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{
+		capacity:    p.capacity,
+		times:       append([]float64(nil), p.times...),
+		used:        append([]int(nil), p.used...),
+		trimmedBusy: p.trimmedBusy,
+	}
+	return q
+}
+
+// seg returns the index of the segment containing time t, clamping to the
+// first segment for t before the origin.
+func (p *Profile) seg(t float64) int {
+	// Largest i with times[i] <= t (within tolerance).
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t+Eps })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// UsedAt returns the number of processors in use at time t.
+func (p *Profile) UsedAt(t float64) int { return p.used[p.seg(t)] }
+
+// AvailAt returns the number of free processors at time t.
+func (p *Profile) AvailAt(t float64) int { return p.capacity - p.UsedAt(t) }
+
+// MinAvailOn returns the minimum number of free processors over [a, b).
+func (p *Profile) MinAvailOn(a, b float64) int {
+	if !timeLess(a, b) {
+		return p.capacity - p.UsedAt(a)
+	}
+	lo := p.seg(a)
+	min := p.capacity
+	for i := lo; i < len(p.times); i++ {
+		if timeLeq(b, p.times[i]) && i > lo {
+			break
+		}
+		if avail := p.capacity - p.used[i]; avail < min {
+			min = avail
+		}
+		if i == len(p.times)-1 {
+			break
+		}
+	}
+	return min
+}
+
+// ensureBreak inserts a breakpoint at time t (if one is not already present
+// within tolerance) and returns the index of the segment starting at t.
+// Times before the origin are clamped to the origin.
+func (p *Profile) ensureBreak(t float64) int {
+	if timeLeq(t, p.times[0]) {
+		return 0
+	}
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t+Eps })
+	// i is the first index with times[i] > t; segment i-1 contains t.
+	if timeEq(p.times[i-1], t) {
+		return i - 1
+	}
+	p.times = append(p.times, 0)
+	p.used = append(p.used, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.used[i+1:], p.used[i:])
+	p.times[i] = t
+	p.used[i] = p.used[i-1]
+	return i
+}
+
+// Reserve commits procs processors over [start, finish).  It returns an
+// error (leaving the profile unchanged) if the reservation would exceed
+// capacity anywhere in the interval, or if the interval is empty or not
+// entirely at or after the profile origin.
+func (p *Profile) Reserve(procs int, start, finish float64) error {
+	if procs < 1 {
+		return fmt.Errorf("core: reserve %d procs (must be >= 1)", procs)
+	}
+	if !timeLess(start, finish) {
+		return fmt.Errorf("core: reserve over empty interval [%v, %v)", start, finish)
+	}
+	if math.IsInf(finish, 1) {
+		return fmt.Errorf("core: reserve with infinite finish")
+	}
+	if timeLess(start, p.times[0]) {
+		return fmt.Errorf("core: reserve starting at %v before profile origin %v", start, p.times[0])
+	}
+	if p.MinAvailOn(start, finish) < procs {
+		return fmt.Errorf("core: reserve %d procs over [%v, %v): insufficient capacity", procs, start, finish)
+	}
+	lo := p.ensureBreak(start)
+	hi := p.ensureBreak(finish)
+	for i := lo; i < hi; i++ {
+		p.used[i] += procs
+	}
+	return nil
+}
+
+// EarliestFit returns the earliest start time s >= est such that procs
+// processors are free throughout [s, s+duration) and s+duration <= deadline.
+// The second result is false if no such start exists.
+func (p *Profile) EarliestFit(procs int, duration, est, deadline float64) (float64, bool) {
+	if procs > p.capacity || duration <= 0 {
+		return 0, false
+	}
+	s := maxTime(est, p.times[0])
+	if !timeLeq(s+duration, deadline) {
+		return 0, false
+	}
+	i := p.seg(s)
+	for {
+		// Advance i to the first segment at or containing s.
+		for i < len(p.times)-1 && timeLeq(p.times[i+1], s) {
+			i++
+		}
+		// Scan forward from s checking availability until duration covered.
+		j := i
+		ok := true
+		for {
+			if p.capacity-p.used[j] < procs {
+				ok = false
+				break
+			}
+			if j == len(p.times)-1 || timeLeq(s+duration, p.times[j+1]) {
+				break // interval fully covered by available segments
+			}
+			j++
+		}
+		if ok {
+			return s, true
+		}
+		// Segment j blocks: restart just after it.
+		if j == len(p.times)-1 {
+			return 0, false // final (infinite) segment blocks; cannot happen in practice
+		}
+		s = p.times[j+1]
+		i = j + 1
+		if !timeLeq(s+duration, deadline) {
+			return 0, false
+		}
+	}
+}
+
+// TrimBefore discards all profile structure strictly before time t, folding
+// the discarded usage integral into the trimmed-busy accumulator.  The
+// profile origin becomes t.  Trimming never changes the result of any query
+// at or after t.
+func (p *Profile) TrimBefore(t float64) {
+	if timeLeq(t, p.times[0]) {
+		return
+	}
+	i := p.seg(t)
+	// Fold fully-covered segments [0, i).
+	for k := 0; k < i; k++ {
+		p.trimmedBusy += float64(p.used[k]) * (p.times[k+1] - p.times[k])
+	}
+	// Fold the covered prefix of segment i.
+	p.trimmedBusy += float64(p.used[i]) * (t - p.times[i])
+	p.times = append(p.times[:0], p.times[i:]...)
+	p.used = append(p.used[:0], p.used[i:]...)
+	p.times[0] = t
+}
+
+// BusyUpTo returns the usage integral (processor-time units reserved) from
+// the beginning of the profile's history up to time t, including any history
+// folded away by TrimBefore.
+func (p *Profile) BusyUpTo(t float64) float64 {
+	busy := p.trimmedBusy
+	for i := 0; i < len(p.times); i++ {
+		if timeLeq(t, p.times[i]) {
+			break
+		}
+		end := t
+		if i < len(p.times)-1 {
+			end = minTime(end, p.times[i+1])
+		}
+		busy += float64(p.used[i]) * (end - p.times[i])
+	}
+	return busy
+}
+
+// BusyOn returns the usage integral over the window [a, b), using only the
+// explicitly represented portion of the profile (a must be at or after the
+// origin for an exact answer).
+func (p *Profile) BusyOn(a, b float64) float64 {
+	if !timeLess(a, b) {
+		return 0
+	}
+	var busy float64
+	for i := 0; i < len(p.times); i++ {
+		segStart := p.times[i]
+		segEnd := Inf
+		if i < len(p.times)-1 {
+			segEnd = p.times[i+1]
+		}
+		lo := maxTime(a, segStart)
+		hi := minTime(b, segEnd)
+		if timeLess(lo, hi) {
+			busy += float64(p.used[i]) * (hi - lo)
+		}
+		if timeLeq(b, segEnd) {
+			break
+		}
+	}
+	return busy
+}
+
+// LastBreak returns the time of the profile's final breakpoint: the earliest
+// time after which the machine is entirely idle forever.
+func (p *Profile) LastBreak() float64 { return p.times[len(p.times)-1] }
+
+// NextBreakAfter returns the first breakpoint strictly after time t, and
+// false if t is at or past the final breakpoint.
+func (p *Profile) NextBreakAfter(t float64) (float64, bool) {
+	i := p.seg(t)
+	if i+1 < len(p.times) {
+		return p.times[i+1], true
+	}
+	return 0, false
+}
+
+// String renders the profile for debugging: "cap=4 [0,5)=2 [5,+inf)=0".
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cap=%d", p.capacity)
+	for i := range p.times {
+		end := "+inf"
+		if i < len(p.times)-1 {
+			end = fmt.Sprintf("%g", p.times[i+1])
+		}
+		fmt.Fprintf(&b, " [%g,%s)=%d", p.times[i], end, p.used[i])
+	}
+	return b.String()
+}
+
+// checkInvariants panics if internal invariants are violated; used by tests.
+func (p *Profile) checkInvariants() {
+	if len(p.times) != len(p.used) {
+		panic("core: profile times/used length mismatch")
+	}
+	if len(p.times) == 0 {
+		panic("core: empty profile")
+	}
+	for i := 1; i < len(p.times); i++ {
+		if !timeLess(p.times[i-1], p.times[i]) {
+			panic(fmt.Sprintf("core: profile breakpoints not increasing: %v", p.times))
+		}
+	}
+	for i, u := range p.used {
+		if u < 0 || u > p.capacity {
+			panic(fmt.Sprintf("core: profile usage %d out of [0,%d] at segment %d", u, p.capacity, i))
+		}
+	}
+	if p.used[len(p.used)-1] != 0 {
+		panic("core: profile final segment must be idle")
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper's QoS agent describes a task's needs as "a vector of values,
+// one for each resource in the system", then restricts the evaluation to
+// the processor dimension.  This file implements the full vector model:
+// capacity and requests are per-dimension (e.g. processors, memory pages,
+// interconnect bandwidth), a task occupies its whole request vector for
+// its duration, and placement requires a slot where every dimension fits
+// simultaneously.
+
+// VectorCapacity names the machine's dimensions and their sizes.
+type VectorCapacity struct {
+	Names []string
+	Size  []int
+}
+
+// Validate checks the capacity description.
+func (vc VectorCapacity) Validate() error {
+	if len(vc.Size) == 0 {
+		return errors.New("core: vector capacity has no dimensions")
+	}
+	if len(vc.Names) != len(vc.Size) {
+		return fmt.Errorf("core: %d names for %d dimensions", len(vc.Names), len(vc.Size))
+	}
+	for i, s := range vc.Size {
+		if s < 1 {
+			return fmt.Errorf("core: dimension %q size %d", vc.Names[i], s)
+		}
+	}
+	return nil
+}
+
+// VectorTask is one stage with a per-dimension request.
+type VectorTask struct {
+	Name     string
+	Req      []int // one entry per capacity dimension
+	Duration float64
+	Deadline float64
+}
+
+// VectorChain is one execution path of a vector job.
+type VectorChain struct {
+	Name    string
+	Tasks   []VectorTask
+	Quality float64
+}
+
+// VectorJob is a (possibly tunable) job with vector resource requests.
+type VectorJob struct {
+	ID      int
+	Release float64
+	Chains  []VectorChain
+}
+
+// Validate checks the job against the capacity's dimensionality.
+func (j VectorJob) Validate(vc VectorCapacity) error {
+	if len(j.Chains) == 0 {
+		return fmt.Errorf("core: vector job %d has no chains", j.ID)
+	}
+	for ci, c := range j.Chains {
+		if len(c.Tasks) == 0 {
+			return fmt.Errorf("core: vector job %d chain %d has no tasks", j.ID, ci)
+		}
+		for ti, t := range c.Tasks {
+			if len(t.Req) != len(vc.Size) {
+				return fmt.Errorf("core: vector job %d chain %d task %d: %d request dims for %d capacity dims",
+					j.ID, ci, ti, len(t.Req), len(vc.Size))
+			}
+			if t.Duration <= 0 {
+				return fmt.Errorf("core: vector job %d chain %d task %d: duration %v", j.ID, ci, ti, t.Duration)
+			}
+			positive := false
+			for di, r := range t.Req {
+				if r < 0 || r > vc.Size[di] {
+					return fmt.Errorf("core: vector job %d chain %d task %d: request %d exceeds %q capacity %d",
+						j.ID, ci, ti, r, vc.Names[di], vc.Size[di])
+				}
+				if r > 0 {
+					positive = true
+				}
+			}
+			if !positive {
+				return fmt.Errorf("core: vector job %d chain %d task %d requests nothing", j.ID, ci, ti)
+			}
+			if timeLess(t.Deadline, j.Release) {
+				return fmt.Errorf("core: vector job %d chain %d task %d: deadline before release", j.ID, ci, ti)
+			}
+		}
+	}
+	return nil
+}
+
+// VectorProfile tracks committed usage per dimension, one capacity profile
+// each.
+type VectorProfile struct {
+	cap  VectorCapacity
+	dims []*Profile
+}
+
+// NewVectorProfile returns an empty multi-dimensional profile.
+func NewVectorProfile(vc VectorCapacity, origin float64) (*VectorProfile, error) {
+	if err := vc.Validate(); err != nil {
+		return nil, err
+	}
+	vp := &VectorProfile{cap: vc}
+	for _, s := range vc.Size {
+		vp.dims = append(vp.dims, NewProfile(s, origin))
+	}
+	return vp, nil
+}
+
+// Capacity returns the capacity description.
+func (vp *VectorProfile) Capacity() VectorCapacity { return vp.cap }
+
+// EarliestFit returns the earliest start s >= est at which every requested
+// dimension is simultaneously free for `duration`, with s+duration <=
+// deadline.  Dimensions with zero request are unconstrained.
+//
+// The search alternates over dimensions: each round takes the current
+// candidate start and asks every dimension for its earliest fit at or
+// after it; if they all agree the candidate stands, otherwise the maximum
+// becomes the next candidate.  Each dimension's earliest-fit is monotone
+// in est, so the candidate only moves forward and the loop terminates at
+// the deadline.
+func (vp *VectorProfile) EarliestFit(req []int, duration, est, deadline float64) (float64, bool) {
+	if len(req) != len(vp.dims) {
+		return 0, false
+	}
+	s := est
+	for {
+		agreed := true
+		for di, p := range vp.dims {
+			if req[di] <= 0 {
+				continue
+			}
+			ds, ok := p.EarliestFit(req[di], duration, s, deadline)
+			if !ok {
+				return 0, false
+			}
+			if timeLess(s, ds) {
+				s = ds
+				agreed = false
+			}
+		}
+		if agreed {
+			if !timeLeq(s+duration, deadline) {
+				return 0, false
+			}
+			return s, true
+		}
+	}
+}
+
+// Reserve commits the request vector over [start, finish).
+func (vp *VectorProfile) Reserve(req []int, start, finish float64) error {
+	if len(req) != len(vp.dims) {
+		return fmt.Errorf("core: reserve with %d dims on %d-dim profile", len(req), len(vp.dims))
+	}
+	for di, p := range vp.dims {
+		if req[di] <= 0 {
+			continue
+		}
+		if err := p.Reserve(req[di], start, finish); err != nil {
+			// Roll back dimensions already reserved: rebuild is impossible
+			// on the additive profile, so the scheduler must pre-check via
+			// EarliestFit; failure here is a programming error surfaced
+			// loudly.
+			return fmt.Errorf("core: vector reserve dim %q: %w", vp.cap.Names[di], err)
+		}
+	}
+	return nil
+}
+
+// TrimBefore compacts every dimension's history.
+func (vp *VectorProfile) TrimBefore(t float64) {
+	for _, p := range vp.dims {
+		p.TrimBefore(t)
+	}
+}
+
+// BusyUpTo returns the per-dimension usage integrals up to t.
+func (vp *VectorProfile) BusyUpTo(t float64) []float64 {
+	out := make([]float64, len(vp.dims))
+	for i, p := range vp.dims {
+		out[i] = p.BusyUpTo(t)
+	}
+	return out
+}
+
+// VectorScheduler runs admission control for vector jobs with the greedy
+// heuristic (earliest finish among schedulable chains).
+type VectorScheduler struct {
+	prof *VectorProfile
+	stat Stats
+}
+
+// NewVectorScheduler returns a scheduler over the given capacity vector.
+func NewVectorScheduler(vc VectorCapacity, origin float64) (*VectorScheduler, error) {
+	vp, err := NewVectorProfile(vc, origin)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorScheduler{prof: vp}, nil
+}
+
+// Stats returns the scheduler's counters.
+func (s *VectorScheduler) Stats() Stats { return s.stat }
+
+// Observe compacts history up to now.
+func (s *VectorScheduler) Observe(now float64) { s.prof.TrimBefore(now) }
+
+// VectorPlacement is the reservation granted to a vector job.
+type VectorPlacement struct {
+	JobID int
+	Chain int
+	Tasks []VectorTaskPlacement
+}
+
+// VectorTaskPlacement is one placed vector task.
+type VectorTaskPlacement struct {
+	Task   int
+	Start  float64
+	Finish float64
+	Req    []int
+}
+
+// Finish returns the placement's completion time.
+func (p VectorPlacement) Finish() float64 {
+	if len(p.Tasks) == 0 {
+		return 0
+	}
+	return p.Tasks[len(p.Tasks)-1].Finish
+}
+
+// Admit runs admission control: the earliest-finishing schedulable chain
+// is reserved; ErrRejected if none fits.
+func (s *VectorScheduler) Admit(job VectorJob) (*VectorPlacement, error) {
+	if err := job.Validate(s.prof.cap); err != nil {
+		return nil, err
+	}
+	var best *VectorPlacement
+	for ci, chain := range job.Chains {
+		pl, ok := s.placeChain(chain, job.Release)
+		if !ok {
+			continue
+		}
+		pl.JobID = job.ID
+		pl.Chain = ci
+		if best == nil || timeLess(pl.Finish(), best.Finish()) {
+			best = pl
+		}
+	}
+	if best == nil {
+		s.stat.Rejected++
+		return nil, ErrRejected
+	}
+	for _, tp := range best.Tasks {
+		if err := s.prof.Reserve(tp.Req, tp.Start, tp.Finish); err != nil {
+			return nil, err
+		}
+	}
+	s.stat.Admitted++
+	s.stat.QualitySum += job.Chains[best.Chain].Quality
+	if len(job.Chains) > 1 {
+		for len(s.stat.TunableChosen) <= best.Chain {
+			s.stat.TunableChosen = append(s.stat.TunableChosen, 0)
+		}
+		s.stat.TunableChosen[best.Chain]++
+	}
+	return best, nil
+}
+
+// placeChain places the chain's tasks sequentially at earliest fits.
+func (s *VectorScheduler) placeChain(chain VectorChain, release float64) (*VectorPlacement, bool) {
+	pl := &VectorPlacement{}
+	est := release
+	for i, t := range chain.Tasks {
+		start, ok := s.prof.EarliestFit(t.Req, t.Duration, est, t.Deadline)
+		if !ok {
+			return nil, false
+		}
+		pl.Tasks = append(pl.Tasks, VectorTaskPlacement{
+			Task:   i,
+			Start:  start,
+			Finish: start + t.Duration,
+			Req:    append([]int(nil), t.Req...),
+		})
+		est = start + t.Duration
+	}
+	return pl, true
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vcap() VectorCapacity {
+	return VectorCapacity{Names: []string{"procs", "memMB"}, Size: []int{8, 1024}}
+}
+
+func vtask(p, m int, dur, dl float64) VectorTask {
+	return VectorTask{Req: []int{p, m}, Duration: dur, Deadline: dl}
+}
+
+func TestVectorCapacityValidate(t *testing.T) {
+	if err := vcap().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []VectorCapacity{
+		{},
+		{Names: []string{"a"}, Size: []int{1, 2}},
+		{Names: []string{"a"}, Size: []int{0}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVectorJobValidate(t *testing.T) {
+	cap := vcap()
+	good := VectorJob{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{vtask(4, 512, 10, 100)}}}}
+	if err := good.Validate(cap); err != nil {
+		t.Fatal(err)
+	}
+	cases := []VectorJob{
+		{ID: 1},
+		{ID: 1, Chains: []VectorChain{{}}},
+		{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{{Req: []int{4}, Duration: 1, Deadline: 10}}}}},
+		{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{vtask(9, 10, 1, 10)}}}},   // over procs cap
+		{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{vtask(1, 2048, 1, 10)}}}}, // over mem cap
+		{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{vtask(0, 0, 1, 10)}}}},    // requests nothing
+		{ID: 1, Chains: []VectorChain{{Tasks: []VectorTask{vtask(1, 1, 0, 10)}}}},    // zero duration
+		{ID: 1, Release: 50, Chains: []VectorChain{{Tasks: []VectorTask{vtask(1, 1, 1, 10)}}}},
+	}
+	for i, j := range cases {
+		if j.Validate(cap) == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVectorEarliestFitRequiresAllDimensions(t *testing.T) {
+	vp, err := NewVectorProfile(vcap(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory is the bottleneck: procs free everywhere, 900 MB held [0, 20).
+	if err := vp.Reserve([]int{1, 900}, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	// 4 procs + 200 MB: memory forces start 20 even though procs are free.
+	s, ok := vp.EarliestFit([]int{4, 200}, 5, 0, Inf)
+	if !ok || !timeEq(s, 20) {
+		t.Fatalf("fit = (%v, %v), want (20, true)", s, ok)
+	}
+	// 4 procs + 100 MB fits immediately.
+	s, ok = vp.EarliestFit([]int{4, 100}, 5, 0, Inf)
+	if !ok || !timeEq(s, 0) {
+		t.Fatalf("fit = (%v, %v), want (0, true)", s, ok)
+	}
+	// Zero-request dimensions are unconstrained.
+	s, ok = vp.EarliestFit([]int{0, 200}, 5, 0, Inf)
+	if !ok || !timeEq(s, 20) {
+		t.Fatalf("mem-only fit = (%v, %v), want (20, true)", s, ok)
+	}
+}
+
+func TestVectorEarliestFitAlternatingBottlenecks(t *testing.T) {
+	vp, _ := NewVectorProfile(vcap(), 0)
+	// Procs busy [0,10), memory busy [10,25): a joint request must wait
+	// for 25 — the fixed-point search must hop dimensions.
+	mustVReserve(t, vp, []int{8, 1}, 0, 10)
+	mustVReserve(t, vp, []int{1, 1024}, 10, 25)
+	s, ok := vp.EarliestFit([]int{2, 128}, 5, 0, Inf)
+	if !ok || !timeEq(s, 25) {
+		t.Fatalf("fit = (%v, %v), want (25, true)", s, ok)
+	}
+}
+
+func TestVectorEarliestFitDeadline(t *testing.T) {
+	vp, _ := NewVectorProfile(vcap(), 0)
+	mustVReserve(t, vp, []int{8, 1024}, 0, 50)
+	if _, ok := vp.EarliestFit([]int{1, 1}, 10, 0, 55); ok {
+		t.Fatal("met impossible deadline")
+	}
+	if s, ok := vp.EarliestFit([]int{1, 1}, 10, 0, 60); !ok || !timeEq(s, 50) {
+		t.Fatalf("fit = (%v, %v)", s, ok)
+	}
+}
+
+func TestVectorSchedulerAdmitTunable(t *testing.T) {
+	s, err := NewVectorScheduler(vcap(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold most of memory for a while.
+	if err := s.prof.Reserve([]int{0, 900}, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Chain A: fast but memory-hungry; chain B: slower, lean.  A cannot
+	// start before 40, so B (finish 30) wins.
+	job := VectorJob{ID: 1, Chains: []VectorChain{
+		{Name: "hungry", Tasks: []VectorTask{vtask(2, 512, 10, 100)}},
+		{Name: "lean", Tasks: []VectorTask{vtask(4, 64, 30, 100)}},
+	}}
+	pl, err := s.Admit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chain != 1 {
+		t.Fatalf("chose chain %d, want 1 (lean finishes first)", pl.Chain)
+	}
+	st := s.Stats()
+	if st.Admitted != 1 || st.TunableChosen[1] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A memory-infeasible job is rejected.
+	_, err = s.Admit(VectorJob{ID: 2, Chains: []VectorChain{
+		{Tasks: []VectorTask{vtask(1, 1000, 10, 30)}},
+	}})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+}
+
+func TestVectorSchedulerChainSequencing(t *testing.T) {
+	s, _ := NewVectorScheduler(vcap(), 0)
+	job := VectorJob{ID: 1, Chains: []VectorChain{{
+		Tasks: []VectorTask{
+			vtask(8, 100, 10, 100),
+			vtask(2, 800, 5, 100),
+		},
+	}}}
+	pl, err := s.Admit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timeLess(pl.Tasks[1].Start, pl.Tasks[0].Finish) {
+		t.Fatalf("precedence violated: %+v", pl.Tasks)
+	}
+}
+
+// TestQuickVectorNeverOvercommitsAnyDimension: random admissions keep every
+// dimension within capacity (checked by each dimension's own invariants).
+func TestQuickVectorNeverOvercommitsAnyDimension(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cap := VectorCapacity{Names: []string{"p", "m", "bw"}, Size: []int{8, 64, 16}}
+		s, err := NewVectorScheduler(cap, 0)
+		if err != nil {
+			return false
+		}
+		release := 0.0
+		for i := 0; i < 10+int(nRaw%40); i++ {
+			release += rng.Float64() * 10
+			dur := 1 + rng.Float64()*10
+			job := VectorJob{ID: i, Release: release, Chains: []VectorChain{{
+				Tasks: []VectorTask{{
+					Req:      []int{rng.Intn(9), rng.Intn(65), rng.Intn(17)},
+					Duration: dur,
+					Deadline: release + dur*(1+rng.Float64()*3),
+				}},
+			}}}
+			if job.Validate(cap) != nil {
+				continue
+			}
+			pl, err := s.Admit(job)
+			if errors.Is(err, ErrRejected) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			chain := job.Chains[pl.Chain]
+			for k, tp := range pl.Tasks {
+				if !timeLeq(tp.Finish, chain.Tasks[k].Deadline) || timeLess(tp.Start, release) {
+					return false
+				}
+			}
+		}
+		for _, p := range s.prof.dims {
+			p.checkInvariants()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustVReserve(t *testing.T, vp *VectorProfile, req []int, start, finish float64) {
+	t.Helper()
+	if err := vp.Reserve(req, start, finish); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"milan/internal/workload"
+)
+
+func TestChurnRunCoreInvariants(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 600
+	trace := []CapacityEvent{
+		{At: 3000, Procs: 20},
+		{At: 9000, Procs: 12},
+		{At: 15000, Procs: 16},
+	}
+	results, err := ChurnRun(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byLabel := func(prefix string) ChurnResult {
+		for _, r := range results {
+			if strings.HasPrefix(r.Label, prefix) {
+				return r
+			}
+		}
+		t.Fatalf("missing %q", prefix)
+		return ChurnResult{}
+	}
+	dyn := byLabel("dynamic")
+	declared := byLabel("static-declared")
+	min := byLabel("static-min")
+	max := byLabel("static-max")
+
+	// The renegotiating arbitrator keeps its guarantees: aborts are rare
+	// relative to the churn-blind system's broken reservations.
+	if dyn.Aborted >= declared.Aborted {
+		t.Errorf("dynamic aborted %d, not below churn-blind %d", dyn.Aborted, declared.Aborted)
+	}
+	// And it completes more jobs on time than the churn-blind system.
+	if dyn.Completed <= declared.Completed {
+		t.Errorf("dynamic completed %d, churn-blind %d", dyn.Completed, declared.Completed)
+	}
+	// Bounds: conservative provisioning is a lower bound, the oracle an
+	// upper bound.
+	if dyn.Completed < min.Completed {
+		t.Errorf("dynamic %d below conservative bound %d", dyn.Completed, min.Completed)
+	}
+	if dyn.Completed > max.Completed {
+		t.Errorf("dynamic %d above oracle bound %d", dyn.Completed, max.Completed)
+	}
+	// Accounting sanity.
+	for _, r := range results {
+		if r.Completed != r.Admitted-r.Aborted {
+			t.Errorf("%s: completed %d != admitted %d - aborted %d", r.Label, r.Completed, r.Admitted, r.Aborted)
+		}
+		if r.Admitted < 0 || r.Rejected < 0 || r.Aborted < 0 {
+			t.Errorf("%s: negative counters %+v", r.Label, r)
+		}
+	}
+}
+
+func TestChurnRunDefaultTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 200
+	results, err := ChurnRun(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestChurnNoEventsMatchesStatic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 400
+	// A "trace" that never changes capacity: dynamic == static-declared ==
+	// plain Run, and nothing aborts.
+	trace := []CapacityEvent{{At: 1, Procs: cfg.Procs}}
+	results, err := ChurnRun(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, declared := results[0], results[1]
+	if dyn.Aborted != 0 || declared.Aborted != 0 {
+		t.Fatalf("aborts without churn: %+v %+v", dyn, declared)
+	}
+	if dyn.Admitted != declared.Admitted {
+		t.Fatalf("dynamic admitted %d != static %d without churn", dyn.Admitted, declared.Admitted)
+	}
+	plain, err := Run(cfg, testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if declared.Admitted != plain.Admitted {
+		t.Fatalf("static-declared %d != plain run %d", declared.Admitted, plain.Admitted)
+	}
+}
+
+func TestChurnRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Procs = 0
+	if _, err := ChurnRun(cfg, nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestWriteChurn(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 100
+	trace := []CapacityEvent{{At: 500, Procs: 20}}
+	results, err := ChurnRun(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteChurn(&sb, results, cfg, trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EXT-R", "capacity trace", "dynamic", "oracle"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// testSystem returns the tunable task system (helper shared with other
+// experiment tests).
+func testSystem() workload.System { return workload.Tunable }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"milan/internal/workload"
+)
+
+// WriteFigureCSV emits a figure sweep as CSV (one row per parameter value
+// and system) for downstream plotting tools.
+func WriteFigureCSV(w io.Writer, fig Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"figure", fig.ParamName, "system", "admitted", "rejected", "utilization", "horizon",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range fig.Points {
+		for _, sys := range workload.Systems {
+			r := pt.Results[sys]
+			if err := cw.Write([]string{
+				fig.ID,
+				strconv.FormatFloat(pt.Param, 'g', -1, 64),
+				sys.String(),
+				strconv.Itoa(r.Admitted),
+				strconv.Itoa(r.Rejected),
+				strconv.FormatFloat(r.Utilization, 'f', 6, 64),
+				strconv.FormatFloat(r.Horizon, 'f', 3, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGridCSV emits a Figure-6 benefit grid as CSV.
+func WriteGridCSV(w io.Writer, g Grid) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "interval", "laxity", "tunable", "benefit_vs_shape1", "benefit_vs_shape2"}); err != nil {
+		return err
+	}
+	for i, iv := range g.Intervals {
+		for j, lax := range g.Laxities {
+			if err := cw.Write([]string{
+				g.ID,
+				strconv.FormatFloat(iv, 'g', -1, 64),
+				strconv.FormatFloat(lax, 'g', -1, 64),
+				strconv.Itoa(g.Tunable[i][j]),
+				strconv.Itoa(g.VsShape1[i][j]),
+				strconv.Itoa(g.VsShape2[i][j]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: grid csv: %w", err)
+	}
+	return nil
+}

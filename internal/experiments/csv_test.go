@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigureCSV(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 100
+	fig, err := Fig5a(cfg, []float64{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 points x 3 systems.
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	if rows[0][0] != "figure" || rows[1][0] != "5a" {
+		t.Fatalf("rows = %v", rows[:2])
+	}
+}
+
+func TestWriteGridCSV(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 80
+	grid, err := Fig6(cfg, []float64{30, 60}, []float64{0.3, 0.7}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGridCSV(&sb, grid); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 2x2 grid
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+}

@@ -1,0 +1,359 @@
+// Package experiments regenerates the paper's evaluation (Section 5): for
+// each figure it sweeps the relevant parameter of the synthetic task system
+// over the three task systems (tunable, shape 1, shape 2), runs the full
+// stack — workload generator → QoS agent → QoS arbitrator → greedy
+// scheduler — inside the discrete-event engine, and reports utilization and
+// throughput.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"milan/internal/core"
+	"milan/internal/qos"
+	"milan/internal/sim"
+	"milan/internal/workload"
+)
+
+// Config parameterizes one simulation run.  DefaultConfig matches the
+// paper's fixed values (x = 16, t = 25, 10,000 arrivals) with the
+// held-constant sweep parameters recorded in EXPERIMENTS.md.
+type Config struct {
+	Procs            int // machine size M
+	Job              workload.FigureJob
+	MeanInterarrival float64 // Poisson mean gap
+	Jobs             int     // number of arrivals
+	Seed             int64
+	Malleable        bool          // Section 5.4: tasks become malleable
+	Opts             *core.Options // scheduler policy; nil = paper defaults
+	// ArrivalFactory, if set, overrides the Poisson arrival process (the
+	// mean interarrival still describes the intended load for reporting).
+	ArrivalFactory func(seed int64) workload.Arrivals
+}
+
+// DefaultConfig returns the baseline configuration: M = 32 processors,
+// x = 16, t = 25, alpha = 0.25, laxity = 0.5, mean interarrival 30,
+// 10,000 jobs.
+func DefaultConfig() Config {
+	return Config{
+		Procs:            32,
+		Job:              workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5},
+		MeanInterarrival: 30,
+		Jobs:             10000,
+		Seed:             1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("experiments: procs = %d", c.Procs)
+	}
+	if c.Jobs < 1 {
+		return fmt.Errorf("experiments: jobs = %d", c.Jobs)
+	}
+	if c.MeanInterarrival <= 0 {
+		return fmt.Errorf("experiments: mean interarrival = %v", c.MeanInterarrival)
+	}
+	return c.Job.Validate()
+}
+
+// OfferedLoad returns the mean offered load of the configuration: job work
+// divided by machine capacity times the mean interarrival gap.  Values
+// above 1 mean the system is overloaded on average.
+func (c Config) OfferedLoad() float64 {
+	return c.Job.Area() / (float64(c.Procs) * c.MeanInterarrival)
+}
+
+// RunResult summarizes one simulation run of one task system.
+type RunResult struct {
+	System        workload.System
+	Admitted      int // jobs admitted = jobs finishing on time (throughput)
+	Rejected      int
+	Utilization   float64 // reserved capacity fraction over [0, horizon]
+	Horizon       float64 // max(last reservation finish, last release)
+	ChainShare    []int   // how often each chain of the tunable job was chosen
+	MeanLateSlack float64 // mean (deadline - finish) over admitted jobs
+}
+
+// Throughput returns the number of on-time jobs (every admitted job meets
+// its deadlines by construction of the reservation).
+func (r RunResult) Throughput() int { return r.Admitted }
+
+// Run simulates one task system under the configuration, driving arrivals
+// through the event engine and negotiating each job via a QoS agent against
+// the arbitrator.
+func Run(cfg Config, sys workload.System) (RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	arb, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: cfg.Procs, Options: cfg.Opts})
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var arrivals workload.Arrivals
+	if cfg.ArrivalFactory != nil {
+		arrivals = cfg.ArrivalFactory(cfg.Seed)
+	} else {
+		arrivals = workload.NewPoisson(cfg.MeanInterarrival, cfg.Seed)
+	}
+	res := RunResult{System: sys}
+	var engine sim.Engine
+	var lastFinish, lastRelease float64
+	var slackSum float64
+
+	var scheduleArrival func(id int)
+	scheduleArrival = func(id int) {
+		if id >= cfg.Jobs {
+			return
+		}
+		gap := arrivals.Next()
+		engine.After(gap, "arrival", func() {
+			now := engine.Now()
+			lastRelease = now
+			arb.Observe(now)
+			job := cfg.Job.Job(id, now, sys)
+			if cfg.Malleable {
+				job = job.MakeMalleable()
+			}
+			ag := qos.NewAgent(job)
+			g, err := ag.NegotiateWith(arb)
+			if err == nil {
+				res.Admitted++
+				if f := g.Finish(); f > lastFinish {
+					lastFinish = f
+				}
+				chain := job.Chains[g.Chain]
+				slackSum += chain.Tasks[len(chain.Tasks)-1].Deadline - g.Finish()
+				for len(res.ChainShare) <= g.Chain {
+					res.ChainShare = append(res.ChainShare, 0)
+				}
+				res.ChainShare[g.Chain]++
+			} else {
+				res.Rejected++
+			}
+			scheduleArrival(id + 1)
+		})
+	}
+	scheduleArrival(0)
+	engine.Run()
+
+	res.Horizon = math.Max(lastFinish, lastRelease)
+	if res.Horizon > 0 {
+		res.Utilization = arb.Utilization(0, res.Horizon)
+	}
+	if res.Admitted > 0 {
+		res.MeanLateSlack = slackSum / float64(res.Admitted)
+	}
+	return res, nil
+}
+
+// Point is one x-value of a figure with the three systems' results.
+type Point struct {
+	Param   float64
+	Results map[workload.System]RunResult
+}
+
+// UtilGain returns tunable utilization minus the best non-tunable one.
+func (p Point) UtilGain() float64 {
+	t := p.Results[workload.Tunable].Utilization
+	best := math.Max(p.Results[workload.Shape1].Utilization, p.Results[workload.Shape2].Utilization)
+	return t - best
+}
+
+// ThroughputGain returns tunable throughput minus the best non-tunable one.
+func (p Point) ThroughputGain() int {
+	t := p.Results[workload.Tunable].Throughput()
+	best := p.Results[workload.Shape1].Throughput()
+	if b := p.Results[workload.Shape2].Throughput(); b > best {
+		best = b
+	}
+	return t - best
+}
+
+// Figure is a complete single-parameter sweep (Figures 5a-5d).
+type Figure struct {
+	ID        string
+	ParamName string
+	Points    []Point
+}
+
+// sweep runs all three systems at every parameter value.
+func sweep(id, paramName string, params []float64, mk func(float64) Config) (Figure, error) {
+	fig := Figure{ID: id, ParamName: paramName}
+	for _, v := range params {
+		cfg := mk(v)
+		pt := Point{Param: v, Results: make(map[workload.System]RunResult, 3)}
+		for _, sys := range workload.Systems {
+			r, err := Run(cfg, sys)
+			if err != nil {
+				return Figure{}, fmt.Errorf("experiments: %s at %s=%v system %s: %w", id, paramName, v, sys, err)
+			}
+			pt.Results[sys] = r
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}
+
+// DefaultIntervals is the Figure 5(a) sweep domain (the paper varies the
+// mean arrival interval from 10 to 85 with t = 25).
+func DefaultIntervals() []float64 {
+	var out []float64
+	for v := 10.0; v <= 85; v += 5 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// DefaultLaxities is the Figure 5(b) sweep domain (0.05 to 0.95).
+func DefaultLaxities() []float64 {
+	var out []float64
+	for v := 0.05; v <= 0.951; v += 0.05 {
+		out = append(out, math.Round(v*100)/100)
+	}
+	return out
+}
+
+// DefaultProcs is the Figure 5(c) sweep domain (16 to 64 processors).
+func DefaultProcs() []float64 {
+	var out []float64
+	for v := 16; v <= 64; v += 4 {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// Fig5a sweeps the mean arrival interval.
+func Fig5a(base Config, intervals []float64) (Figure, error) {
+	if intervals == nil {
+		intervals = DefaultIntervals()
+	}
+	return sweep("5a", "arrival-interval", intervals, func(v float64) Config {
+		cfg := base
+		cfg.MeanInterarrival = v
+		return cfg
+	})
+}
+
+// Fig5b sweeps the laxity.
+func Fig5b(base Config, laxities []float64) (Figure, error) {
+	if laxities == nil {
+		laxities = DefaultLaxities()
+	}
+	return sweep("5b", "laxity", laxities, func(v float64) Config {
+		cfg := base
+		cfg.Job.Laxity = v
+		return cfg
+	})
+}
+
+// Fig5c sweeps the machine size.
+func Fig5c(base Config, procs []float64) (Figure, error) {
+	if procs == nil {
+		procs = DefaultProcs()
+	}
+	return sweep("5c", "processors", procs, func(v float64) Config {
+		cfg := base
+		cfg.Procs = int(v)
+		return cfg
+	})
+}
+
+// Fig5d sweeps the job shape alpha over all values keeping x*alpha integral.
+func Fig5d(base Config, alphas []float64) (Figure, error) {
+	if alphas == nil {
+		alphas = workload.ValidAlphas(base.Job.X)
+	}
+	return sweep("5d", "alpha", alphas, func(v float64) Config {
+		cfg := base
+		cfg.Job.Alpha = v
+		return cfg
+	})
+}
+
+// Grid is a two-parameter benefit surface (Figures 6a and 6b): tunable
+// throughput minus each non-tunable shape's throughput over the arrival
+// interval x laxity grid.
+type Grid struct {
+	ID        string
+	Malleable bool
+	Intervals []float64
+	Laxities  []float64
+	// VsShape1[i][j] is the benefit at Intervals[i], Laxities[j].
+	VsShape1 [][]int
+	VsShape2 [][]int
+	// Tunable[i][j] is the tunable system's absolute throughput.
+	Tunable [][]int
+}
+
+// Fig6 builds the benefit grid; malleable selects Figure 6(b)'s task model.
+func Fig6(base Config, intervals, laxities []float64, malleable bool) (Grid, error) {
+	if intervals == nil {
+		intervals = []float64{10, 20, 30, 40, 55, 70, 85}
+	}
+	if laxities == nil {
+		laxities = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+	}
+	id := "6a"
+	if malleable {
+		id = "6b"
+	}
+	g := Grid{ID: id, Malleable: malleable, Intervals: intervals, Laxities: laxities}
+	g.VsShape1 = make([][]int, len(intervals))
+	g.VsShape2 = make([][]int, len(intervals))
+	g.Tunable = make([][]int, len(intervals))
+	for i, iv := range intervals {
+		g.VsShape1[i] = make([]int, len(laxities))
+		g.VsShape2[i] = make([]int, len(laxities))
+		g.Tunable[i] = make([]int, len(laxities))
+		for j, lax := range laxities {
+			cfg := base
+			cfg.MeanInterarrival = iv
+			cfg.Job.Laxity = lax
+			cfg.Malleable = malleable
+			var thr [3]int
+			for k, sys := range workload.Systems {
+				r, err := Run(cfg, sys)
+				if err != nil {
+					return Grid{}, fmt.Errorf("experiments: %s at (%v, %v) system %s: %w", id, iv, lax, sys, err)
+				}
+				thr[k] = r.Throughput()
+			}
+			g.Tunable[i][j] = thr[0]
+			g.VsShape1[i][j] = thr[0] - thr[1]
+			g.VsShape2[i][j] = thr[0] - thr[2]
+		}
+	}
+	return g, nil
+}
+
+// MaxBenefit returns the largest entry of the grid slice.
+func MaxBenefit(grid [][]int) int {
+	best := math.MinInt32
+	for _, row := range grid {
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// MeanBenefit returns the mean entry of the grid slice.
+func MeanBenefit(grid [][]int) float64 {
+	var sum, n float64
+	for _, row := range grid {
+		for _, v := range row {
+			sum += float64(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQualitySweepBasicShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 600
+	pts, err := QualitySweep(cfg, []float64{20, 60}, 0.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if len(pt.Results) != 3 {
+			t.Fatalf("policies = %d", len(pt.Results))
+		}
+		for _, r := range pt.Results {
+			if r.Admitted+r.Rejected != cfg.Jobs {
+				t.Errorf("%s at %v: %d+%d != %d", r.Policy, pt.Interval, r.Admitted, r.Rejected, cfg.Jobs)
+			}
+			if r.MeanQuality < 0.69 || r.MeanQuality > 1.0001 {
+				t.Errorf("%s at %v: mean quality %v out of range", r.Policy, pt.Interval, r.MeanQuality)
+			}
+			if r.DegradedShare < 0 || r.DegradedShare > 1 {
+				t.Errorf("%s: degraded share %v", r.Policy, r.DegradedShare)
+			}
+		}
+	}
+	byPolicy := func(pt QualityPoint, name string) QualityResult {
+		for _, r := range pt.Results {
+			if strings.HasPrefix(r.Policy, name) {
+				return r
+			}
+		}
+		t.Fatalf("policy %q missing", name)
+		return QualityResult{}
+	}
+	light := pts[1] // interval 60: light load
+	// Under light load, the quality-maximizing policy achieves higher mean
+	// quality than the paper's earliest-finish objective, and min-area
+	// pins quality at the degraded level.
+	paper := byPolicy(light, "earliest-finish")
+	maxq := byPolicy(light, "max-quality")
+	mina := byPolicy(light, "min-area")
+	if maxq.MeanQuality <= paper.MeanQuality {
+		t.Errorf("max-quality mean %v not above paper %v at light load", maxq.MeanQuality, paper.MeanQuality)
+	}
+	if mina.MeanQuality > 0.71 {
+		t.Errorf("min-area mean quality %v, want pinned at degraded 0.7", mina.MeanQuality)
+	}
+	// Min-area admits the most jobs (each takes half the work).
+	if mina.Admitted < paper.Admitted {
+		t.Errorf("min-area admitted %d < paper %d", mina.Admitted, paper.Admitted)
+	}
+}
+
+func TestQualitySweepRejectsBadParams(t *testing.T) {
+	cfg := testConfig()
+	if _, err := QualitySweep(cfg, nil, 0, 0.7); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := QualitySweep(cfg, nil, 0.5, 1.5); err == nil {
+		t.Error("quality 1.5 accepted")
+	}
+}
+
+func TestWriteQuality(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 120
+	pts, err := QualitySweep(cfg, []float64{30}, 0.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteQuality(&sb, pts, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EXT-Q", "mean-quality", "max-quality", "min-area"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package integration exercises full-stack paths across the repository's
+// modules: language -> task graph -> negotiation (in-process and over TCP)
+// -> processor assignment -> Calypso execution, and the experiment harness
+// driven through the wire protocol.
+package integration
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"milan"
+	"milan/internal/calypso"
+	"milan/internal/core"
+	"milan/internal/junction"
+	"milan/internal/qos"
+	"milan/internal/qos/qosnet"
+	"milan/internal/resbroker"
+	"milan/internal/workload"
+)
+
+// TestLanguageToExecutionOverTCP drives the complete pipeline: the paper's
+// junction program in the tunability language, parsed to a task graph,
+// negotiated with a remote arbitrator over TCP, bound to concrete
+// processors, and executed step by step on a fault-injecting Calypso
+// runtime.
+func TestLanguageToExecutionOverTCP(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/junction.tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := milan.ParseTunability("junction", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arb, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := qosnet.ListenAndServe(arb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := qosnet.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	job, envs, err := graph.Job(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := milan.NewAgent(job)
+	grant, err := agent.NegotiateWith(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Chain < 0 || grant.Chain >= len(job.Chains) {
+		t.Fatalf("grant chain %d out of range", grant.Chain)
+	}
+	env := envs[grant.Chain]
+	if _, ok := env["sampleGranularity"]; !ok {
+		t.Fatalf("granted env %v missing control parameter", env)
+	}
+
+	// Bind to processors.
+	asn, err := milan.AssignProcessors(8, []*milan.Placement{&grant.Placement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn) != len(job.Chains[grant.Chain].Tasks) {
+		t.Fatalf("assignments = %d", len(asn))
+	}
+
+	// Execute the granted chain: each task becomes one Calypso parallel
+	// step of its granted width, under fault injection.
+	rt, err := calypso.New(calypso.Config{
+		Workers: 8,
+		Faults:  &calypso.FaultPlan{TransientProb: 0.2, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range grant.Placement.Tasks {
+		step := i
+		err := rt.Parallel(tp.Procs, func(ctx *calypso.TaskCtx, w, n int) error {
+			ctx.Write(fmt.Sprintf("step%d.%d", step, n), n)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// Every step's every task committed exactly once.
+	want := 0
+	for _, tp := range grant.Placement.Tasks {
+		want += tp.Procs
+	}
+	if got := rt.Store().Len(); got != want {
+		t.Fatalf("store has %d results, want %d", got, want)
+	}
+}
+
+// TestExperimentThroughWireMatchesInProcess runs the same arrival sequence
+// against an in-process arbitrator and a TCP-served one: decisions must be
+// identical.
+func TestExperimentThroughWireMatchesInProcess(t *testing.T) {
+	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
+	jobs := spec.Stream(workload.NewPoisson(30, 11), 300, workload.Tunable)
+
+	runLocal := func() []int {
+		arb, _ := qos.NewArbitrator(qos.ArbitratorConfig{Procs: 16})
+		var out []int
+		for _, j := range jobs {
+			arb.Observe(j.Release)
+			g, err := arb.Negotiate(j)
+			if err != nil {
+				out = append(out, -1)
+			} else {
+				out = append(out, g.Chain)
+			}
+		}
+		return out
+	}
+
+	runWire := func() []int {
+		arb, _ := qos.NewArbitrator(qos.ArbitratorConfig{Procs: 16})
+		srv, err := qosnet.ListenAndServe(arb, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := qosnet.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		var out []int
+		for _, j := range jobs {
+			if err := cli.Observe(j.Release); err != nil {
+				t.Fatal(err)
+			}
+			g, err := cli.Negotiate(j)
+			switch {
+			case errors.Is(err, qos.ErrRejected):
+				out = append(out, -1)
+			case err != nil:
+				t.Fatal(err)
+			default:
+				out = append(out, g.Chain)
+			}
+		}
+		return out
+	}
+
+	local, wire := runLocal(), runWire()
+	for i := range local {
+		if local[i] != wire[i] {
+			t.Fatalf("job %d: local chose %d, wire chose %d", i, local[i], wire[i])
+		}
+	}
+}
+
+// TestBrokerChurnScenario scripts a full broker-driven renegotiation: jobs
+// admitted on a two-machine pool survive one machine leaving, with the
+// final schedule still bindable to the remaining processors.
+func TestBrokerChurnScenario(t *testing.T) {
+	arb, err := milan.NewDynamicArbitrator(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := resbroker.New(nil)
+	broker.Register(resbroker.Resource{ID: "a", Procs: 8, Speed: 1})
+	broker.Register(resbroker.Resource{ID: "b", Procs: 4, Speed: 1})
+	qos.AttachBroker(arb, broker, 0)
+	if arb.Procs() != 12 {
+		t.Fatalf("procs = %d", arb.Procs())
+	}
+
+	var grants []*qos.Grant
+	for i := 0; i < 4; i++ {
+		g, err := arb.Negotiate(core.Job{ID: i, Chains: []core.Chain{
+			{Name: "c", Quality: 1, Tasks: []core.Task{
+				{Procs: 3, Duration: 10, Deadline: 100},
+				{Procs: 2, Duration: 10, Deadline: 200},
+			}},
+		}})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		grants = append(grants, g)
+	}
+
+	if err := broker.Deregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if arb.Procs() != 8 {
+		t.Fatalf("procs after leave = %d", arb.Procs())
+	}
+	// All four jobs still fit (deadlines were generous); the final
+	// schedule binds onto 8 processors.
+	if got := len(arb.Active()); got != 4 {
+		t.Fatalf("active = %d, want 4 survivors", got)
+	}
+	var placements []*core.Placement
+	for _, g := range grants {
+		pl := g.Placement
+		placements = append(placements, &pl)
+	}
+	if _, err := core.AssignProcessors(8, placements); err != nil {
+		t.Fatalf("post-churn schedule unbindable: %v", err)
+	}
+}
+
+// TestJunctionFullStack: profile the tunable application, schedule frames
+// against a small machine, execute each granted configuration and check
+// that measured quality matches the profiled quality.
+func TestJunctionFullStack(t *testing.T) {
+	im, truth := junction.Synthesize(junction.DefaultSynthSpec())
+	fine, coarse := junction.FineParams(), junction.CoarseParams()
+	graph, profs, err := junction.BuildGraph(4, im, truth, fine, coarse, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := milan.NewArbitrator(milan.ArbitratorConfig{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPaths := map[int]bool{}
+	for frame := 0; frame < 2; frame++ {
+		job, envs, err := graph.Job(frame, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := milan.NewAgent(job).NegotiateWith(arb)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		sawPaths[g.Chain] = true
+		params, err := junction.ParamsForEnv(envs[g.Chain], fine, coarse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, _ := calypso.New(calypso.Config{Workers: 4})
+		res, err := junction.RunScored(rt, im, params, truth, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Quality.F1 != profs[g.Chain].Quality {
+			t.Fatalf("frame %d: measured F1 %v != profiled %v", frame, res.Quality.F1, profs[g.Chain].Quality)
+		}
+	}
+	// Under contention the two frames took different paths (tunability).
+	if len(sawPaths) != 2 {
+		t.Fatalf("paths used = %v, want both", sawPaths)
+	}
+}
+
+// TestParLanguageToDAGSchedulingOverTCP: a task_par program becomes a DAG
+// job, negotiates over the wire, and the granted placement binds to
+// concrete processors with its branches overlapping.
+func TestParLanguageToDAGSchedulingOverTCP(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/pipeline.tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := milan.ParseTunability("pipeline", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, envs, err := graph.DAGJob(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arb, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := qosnet.ListenAndServe(arb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := qosnet.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	g, err := cli.NegotiateDAG(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envs[g.Chain]["mode"] != 1 {
+		t.Fatalf("granted env = %v, want mode 1 on the wide machine", envs[g.Chain])
+	}
+	// audio (task 1) and video (task 2) overlap.
+	audio, video := g.Placement.Tasks[1], g.Placement.Tasks[2]
+	if audio.Start != video.Start {
+		t.Fatalf("branches not concurrent: %+v %+v", audio, video)
+	}
+	pl := g.Placement
+	if _, err := core.AssignProcessors(8, []*core.Placement{&pl}); err != nil {
+		t.Fatalf("DAG grant unbindable: %v", err)
+	}
+}

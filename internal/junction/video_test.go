@@ -1,0 +1,87 @@
+package junction
+
+import (
+	"testing"
+
+	"milan/internal/calypso"
+)
+
+func TestSynthesizeVideoBasics(t *testing.T) {
+	spec := DefaultVideoSpec()
+	frames, truths, err := SynthesizeVideo(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != spec.Frames || len(truths) != spec.Frames {
+		t.Fatalf("frames = %d truths = %d", len(frames), len(truths))
+	}
+	for f, im := range frames {
+		for _, v := range im.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("frame %d pixel out of range: %v", f, v)
+			}
+		}
+		if len(truths[f]) == 0 {
+			t.Fatalf("frame %d has no ground truth", f)
+		}
+		for _, p := range truths[f] {
+			if p.X < 0 || p.X >= im.W || p.Y < 0 || p.Y >= im.H {
+				t.Fatalf("frame %d truth %v outside image", f, p)
+			}
+		}
+	}
+	// The scene actually moves: consecutive frames differ.
+	diff := 0
+	for i := range frames[0].Pix {
+		if frames[0].Pix[i] != frames[1].Pix[i] {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("frames 0 and 1 differ in only %d pixels", diff)
+	}
+}
+
+func TestSynthesizeVideoValidation(t *testing.T) {
+	bad := []VideoSpec{
+		{W: 8, H: 192, Frames: 2, Rectangles: 1},
+		{W: 192, H: 192, Frames: 0, Rectangles: 1},
+		{W: 192, H: 192, Frames: 2, Rectangles: 0},
+		{W: 192, H: 192, Frames: 2, Rectangles: 1, MaxSpeed: -1},
+	}
+	for i, s := range bad {
+		if _, _, err := SynthesizeVideo(s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestVideoTrackingQualityAcrossFrames: both tunable configurations
+// sustain detection quality across a moving sequence — the property that
+// makes switching between them safe for the scheduler.
+func TestVideoTrackingQualityAcrossFrames(t *testing.T) {
+	frames, truths, err := SynthesizeVideo(DefaultVideoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, params := range []Params{FineParams(), CoarseParams()} {
+		var sumF1 float64
+		for f := range frames {
+			rt, err := calypso.New(calypso.Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunScored(rt, frames[f], params, truths[f], 5)
+			if err != nil {
+				t.Fatalf("frame %d: %v", f, err)
+			}
+			sumF1 += res.Quality.F1
+		}
+		mean := sumF1 / float64(len(frames))
+		// The coarse configuration trades a little quality for its cheaper
+		// sampling; both must stay usable across the whole sequence.
+		if mean < 0.65 {
+			t.Errorf("granularity %d: mean F1 over sequence = %.3f", params.Granularity, mean)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func lineSeries(label string, pts ...[2]float64) *Series {
+	s := &Series{Label: label}
+	for _, p := range pts {
+		s.Add(p[0], p[1])
+	}
+	return s
+}
+
+func TestPlotBasicStructure(t *testing.T) {
+	s1 := lineSeries("up", [2]float64{0, 0}, [2]float64{10, 1})
+	s2 := lineSeries("down", [2]float64{0, 1}, [2]float64{10, 0})
+	var sb strings.Builder
+	err := Plot(&sb, "test chart", []*Series{s1, s2}, PlotOptions{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x labels + legend.
+	if len(lines) != 14 {
+		t.Fatalf("got %d lines, want 14:\n%s", len(lines), out)
+	}
+	// Both marks appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+	// Axis labels include min and max y.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Error("y labels missing")
+	}
+}
+
+func TestPlotInterpolatesBetweenPoints(t *testing.T) {
+	// A line from (0,0) to (100,1) with only two points must still paint
+	// every column.
+	s := lineSeries("line", [2]float64{0, 0}, [2]float64{100, 1})
+	var sb strings.Builder
+	if err := Plot(&sb, "", []*Series{s}, PlotOptions{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(sb.String(), "\n")
+	stars := 0
+	for _, r := range rows {
+		stars += strings.Count(r, "*")
+	}
+	if stars < 30 {
+		t.Fatalf("only %d marks for a 30-column line", stars)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if err := Plot(&strings.Builder{}, "", nil, PlotOptions{}); err == nil {
+		t.Error("empty series list plotted")
+	}
+	empty := &Series{Label: "e"}
+	if err := Plot(&strings.Builder{}, "", []*Series{empty}, PlotOptions{}); err == nil {
+		t.Error("empty series plotted")
+	}
+	// Single point, flat series: must not divide by zero.
+	single := lineSeries("pt", [2]float64{5, 3})
+	var sb strings.Builder
+	if err := Plot(&sb, "", []*Series{single}, PlotOptions{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestPlotFixedYRangeClamps(t *testing.T) {
+	s := lineSeries("spike", [2]float64{0, 0}, [2]float64{1, 100})
+	var sb strings.Builder
+	err := Plot(&sb, "", []*Series{s}, PlotOptions{Width: 10, Height: 5, YMin: 0, YMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The off-scale value clamps to the top row rather than panicking.
+	top := strings.Split(sb.String(), "\n")[0]
+	if !strings.Contains(top, "*") {
+		t.Errorf("clamped point missing from top row: %q", top)
+	}
+}

@@ -1,0 +1,291 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+
+	"milan/internal/core"
+)
+
+func newDyn(t *testing.T, procs int) *DynamicArbitrator {
+	t.Helper()
+	d, err := NewDynamicArbitrator(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func chainJob(id int, release float64, tasks ...core.Task) core.Job {
+	return core.Job{ID: id, Release: release, Chains: []core.Chain{
+		{Name: "only", Quality: 1, Tasks: tasks},
+	}}
+}
+
+func rect(procs int, dur, deadline float64) core.Task {
+	return core.Task{Procs: procs, Duration: dur, Deadline: deadline}
+}
+
+func TestDynamicRejectsBadConfig(t *testing.T) {
+	if _, err := NewDynamicArbitrator(0, nil); err == nil {
+		t.Fatal("0-proc arbitrator created")
+	}
+	d := newDyn(t, 4)
+	if _, err := d.SetCapacity(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestDynamicBasicAdmission(t *testing.T) {
+	d := newDyn(t, 4)
+	g, err := d.Negotiate(chainJob(1, 0, rect(4, 10, 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Finish() != 10 {
+		t.Fatalf("finish = %v", g.Finish())
+	}
+	if _, err := d.Negotiate(chainJob(1, 0, rect(1, 1, 100))); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+	if _, err := d.Negotiate(chainJob(2, 0, rect(4, 5, 12))); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+	if got := d.Active(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("active = %v", got)
+	}
+}
+
+func TestDynamicObserveRetiresFinishedJobs(t *testing.T) {
+	d := newDyn(t, 4)
+	d.Negotiate(chainJob(1, 0, rect(2, 10, 100)))
+	d.Negotiate(chainJob(2, 0, rect(2, 50, 100)))
+	d.Observe(20)
+	if got := d.Active(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("active = %v, want [2]", got)
+	}
+	// Stale observations are ignored.
+	d.Observe(5)
+	if len(d.Active()) != 1 {
+		t.Fatal("stale observe changed state")
+	}
+}
+
+func TestGrowthMovesFutureTasksEarlier(t *testing.T) {
+	d := newDyn(t, 4)
+	// Job 1 fills the machine [0, 10); job 2's task must wait until 10.
+	d.Negotiate(chainJob(1, 0, rect(4, 10, 100)))
+	g2, err := d.Negotiate(chainJob(2, 0, rect(4, 10, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Placement.Tasks[0].Start != 10 {
+		t.Fatalf("job 2 starts at %v, want 10", g2.Placement.Tasks[0].Start)
+	}
+	var renegotiated []int
+	d.OnRenegotiated = func(id int, g *Grant) { renegotiated = append(renegotiated, id) }
+
+	// The machine doubles at t=2: job 2's future task can start immediately.
+	d.Observe(2)
+	aborted, err := d.SetCapacity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 0 {
+		t.Fatalf("aborted = %v", aborted)
+	}
+	if len(renegotiated) != 1 || renegotiated[0] != 2 {
+		t.Fatalf("renegotiated = %v, want [2]", renegotiated)
+	}
+	if got := g2.Placement.Tasks[0].Start; got != 2 {
+		t.Fatalf("job 2 now starts at %v, want 2", got)
+	}
+	st := d.Stats()
+	if st.Renegotiated != 1 || st.CapacityEvents != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShrinkKeepsRunningTaskAndMovesRest(t *testing.T) {
+	d := newDyn(t, 8)
+	// Job 1: 4 procs [0,10) then 4 procs [10,20). Job 2: 4 procs [0,10).
+	g1, err := d.Negotiate(chainJob(1, 0, rect(4, 10, 50), rect(4, 10, 60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Negotiate(chainJob(2, 0, rect(4, 10, 50))); err != nil {
+		t.Fatal(err)
+	}
+	// At t=5 the machine shrinks to 4: only one of the two running tasks
+	// can keep its processors.  Job 1 was admitted first, so it survives;
+	// job 2 aborts.
+	d.Observe(5)
+	aborted, err := d.SetCapacity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 1 || aborted[0] != 2 {
+		t.Fatalf("aborted = %v, want [2]", aborted)
+	}
+	// Job 1's second task still fits after its first.
+	if g1.Placement.Tasks[1].Start < 10 {
+		t.Fatalf("job 1 task 2 start = %v", g1.Placement.Tasks[1].Start)
+	}
+	st := d.Stats()
+	if st.Aborted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShrinkAbortsJobsWhoseDeadlinesBreak(t *testing.T) {
+	d := newDyn(t, 8)
+	// Two jobs, each 4 procs x 10, deadlines tight at 10.
+	d.Negotiate(chainJob(1, 0, rect(4, 10, 10)))
+	d.Negotiate(chainJob(2, 0, rect(4, 10, 10)))
+	// Before anything runs, the machine halves: both jobs' tasks are in
+	// the future, only one fits by its deadline.
+	aborted, err := d.SetCapacity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 1 || aborted[0] != 2 {
+		t.Fatalf("aborted = %v, want [2] (admission order preserved)", aborted)
+	}
+	var gone []int
+	d.OnAborted = func(id int) { gone = append(gone, id) }
+	if _, err := d.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(gone) != 1 || gone[0] != 1 {
+		t.Fatalf("gone = %v, want [1]", gone)
+	}
+}
+
+func TestWaitingJobRescuedOnGrowth(t *testing.T) {
+	d := newDyn(t, 4)
+	d.Negotiate(chainJob(1, 0, rect(4, 30, 30)))
+	var rescuedGrant *Grant
+	_, err := d.NegotiateOrWait(chainJob(2, 0, rect(4, 10, 25)), func(g *Grant) { rescuedGrant = g })
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+	if d.Waiting() != 1 {
+		t.Fatalf("waiting = %d", d.Waiting())
+	}
+	// Growth rescues the waiter.
+	if _, err := d.SetCapacity(8); err != nil {
+		t.Fatal(err)
+	}
+	if rescuedGrant == nil {
+		t.Fatal("waiter not rescued")
+	}
+	if rescuedGrant.Finish() > 25 {
+		t.Fatalf("rescued grant misses deadline: finish %v", rescuedGrant.Finish())
+	}
+	if d.Waiting() != 0 {
+		t.Fatalf("waiting = %d after rescue", d.Waiting())
+	}
+	if st := d.Stats(); st.Rescued != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWaitingJobExpiresWithTime(t *testing.T) {
+	d := newDyn(t, 4)
+	d.Negotiate(chainJob(1, 0, rect(4, 30, 30)))
+	d.NegotiateOrWait(chainJob(2, 0, rect(4, 10, 25)), nil)
+	// By t=26 the waiter's deadline has passed; it is dropped, and growth
+	// does not resurrect it.
+	d.Observe(26)
+	if d.Waiting() != 0 {
+		t.Fatalf("waiting = %d, want 0 (expired)", d.Waiting())
+	}
+	if _, err := d.SetCapacity(16); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Rescued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShrinkNeverOvercommits(t *testing.T) {
+	d := newDyn(t, 8)
+	for i := 0; i < 6; i++ {
+		d.Negotiate(chainJob(i, 0,
+			rect(1+i%3, 10, 200),
+			rect(2, 10, 400)))
+	}
+	d.Observe(5)
+	if _, err := d.SetCapacity(5); err != nil {
+		t.Fatal(err)
+	}
+	// Validate the surviving schedule by binding it to concrete processors
+	// on the shrunken machine: any overcommit would make this fail.
+	var placements []*core.Placement
+	for _, id := range d.Active() {
+		f := d.active[id]
+		// Only the portion from t=5 on is actually reserved.
+		pl := &core.Placement{JobID: id}
+		for _, tp := range f.grant.Placement.Tasks {
+			if tp.Finish <= 5 {
+				continue
+			}
+			clipped := tp
+			if clipped.Start < 5 {
+				clipped.Start = 5
+			}
+			pl.Tasks = append(pl.Tasks, clipped)
+		}
+		placements = append(placements, pl)
+	}
+	if _, err := core.AssignProcessors(5, placements); err != nil {
+		t.Fatalf("renegotiated schedule overcommits: %v", err)
+	}
+}
+
+func TestGrowthUtilizationAccounting(t *testing.T) {
+	d := newDyn(t, 4)
+	d.Negotiate(chainJob(1, 0, rect(4, 10, 100)))
+	d.Observe(5)
+	if _, err := d.SetCapacity(8); err != nil {
+		t.Fatal(err)
+	}
+	// After renegotiation the schedule is rebuilt from t=5: the running
+	// task holds 4 of 8 processors over [5, 10).
+	if got := d.Utilization(5, 10); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+// TestMalleableReplayRechoosesProcessorCounts: a malleable job's future
+// task is renegotiated onto the new capacity with a different processor
+// count (renegotiation composes with malleability).
+func TestMalleableReplayRechoosesProcessorCounts(t *testing.T) {
+	d := newDyn(t, 4)
+	g, err := d.Negotiate(core.Job{ID: 1, Chains: []core.Chain{{
+		Name: "m", Quality: 1, Tasks: []core.Task{
+			{Name: "a", Procs: 4, Duration: 10, Deadline: 100},
+			{Name: "b", Malleable: true, Work: 32, MaxProcs: 16, Deadline: 200},
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On 4 procs the malleable task got 4 (duration 8).
+	if g.Placement.Tasks[1].Procs != 4 {
+		t.Fatalf("initial malleable procs = %d", g.Placement.Tasks[1].Procs)
+	}
+	// Mid-first-task the machine quadruples: the future malleable task is
+	// re-placed at its full degree of concurrency.
+	d.Observe(5)
+	if _, err := d.SetCapacity(16); err != nil {
+		t.Fatal(err)
+	}
+	tp := g.Placement.Tasks[1]
+	if tp.Procs != 16 {
+		t.Fatalf("renegotiated malleable procs = %d, want 16", tp.Procs)
+	}
+	if tp.Finish-tp.Start != 2 {
+		t.Fatalf("renegotiated duration = %v, want 32/16", tp.Finish-tp.Start)
+	}
+}

@@ -1,0 +1,115 @@
+package qos
+
+import (
+	"testing"
+
+	"milan/internal/resbroker"
+)
+
+func TestAttachBrokerFollowsPool(t *testing.T) {
+	d := newDyn(t, 4)
+	b := resbroker.New(nil)
+	stop := AttachBroker(d, b, 0)
+	defer stop()
+
+	if err := b.Register(resbroker.Resource{ID: "a", Procs: 4, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Procs(); got != 4 {
+		t.Fatalf("procs = %d, want 4", got)
+	}
+	if err := b.Register(resbroker.Resource{ID: "b", Procs: 8, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Procs(); got != 12 {
+		t.Fatalf("procs = %d, want 12 after join", got)
+	}
+	if err := b.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Procs(); got != 8 {
+		t.Fatalf("procs = %d, want 8 after leave", got)
+	}
+	if st := d.Stats(); st.CapacityEvents != 3 {
+		t.Fatalf("capacity events = %d, want 3", st.CapacityEvents)
+	}
+}
+
+func TestAttachBrokerThresholdSuppressesSmallChanges(t *testing.T) {
+	d := newDyn(t, 16)
+	b := resbroker.New(nil)
+	b.Register(resbroker.Resource{ID: "base", Procs: 16, Speed: 1})
+	AttachBroker(d, b, 4) // only "significant" changes (>= 4 procs) renegotiate
+
+	b.Register(resbroker.Resource{ID: "tiny", Procs: 2, Speed: 1})
+	if got := d.Procs(); got != 16 {
+		t.Fatalf("procs = %d: small change triggered renegotiation", got)
+	}
+	b.Register(resbroker.Resource{ID: "big", Procs: 8, Speed: 1})
+	if got := d.Procs(); got != 26 {
+		t.Fatalf("procs = %d, want 26 after significant change", got)
+	}
+}
+
+func TestAttachBrokerIgnoresBindingsAndEmptyPool(t *testing.T) {
+	d := newDyn(t, 4)
+	b := resbroker.New(nil)
+	AttachBroker(d, b, 0)
+	b.Register(resbroker.Resource{ID: "a", Procs: 8, Speed: 1})
+	if got := d.Procs(); got != 8 {
+		t.Fatalf("procs = %d", got)
+	}
+	// Binding capacity to another computation is not a pool-size change.
+	if _, err := b.Bind(resbroker.Request{Computation: "other", MinProcs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Procs(); got != 8 {
+		t.Fatalf("procs = %d: bind event changed arbitrator capacity", got)
+	}
+	// Draining the pool entirely must not leave a 0-processor arbitrator.
+	if err := b.Release("other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Procs(); got != 8 {
+		t.Fatalf("procs = %d: empty pool should leave capacity unchanged", got)
+	}
+}
+
+func TestAttachBrokerStopDetaches(t *testing.T) {
+	d := newDyn(t, 4)
+	b := resbroker.New(nil)
+	stop := AttachBroker(d, b, 0)
+	stop()
+	b.Register(resbroker.Resource{ID: "a", Procs: 32, Speed: 1})
+	if got := d.Procs(); got != 4 {
+		t.Fatalf("procs = %d: detached subscription still firing", got)
+	}
+}
+
+func TestAttachBrokerAbortsSurfaceThroughCallback(t *testing.T) {
+	d := newDyn(t, 8)
+	var aborted []int
+	d.OnAborted = func(id int) { aborted = append(aborted, id) }
+	b := resbroker.New(nil)
+	b.Register(resbroker.Resource{ID: "a", Procs: 4, Speed: 1})
+	b.Register(resbroker.Resource{ID: "b", Procs: 4, Speed: 1})
+	AttachBroker(d, b, 0) // pool total 8 = current capacity... events already fired
+	// Two 4-proc jobs fill the machine.
+	if _, err := d.Negotiate(chainJob(1, 0, rect(4, 10, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Negotiate(chainJob(2, 0, rect(4, 10, 10))); err != nil {
+		t.Fatal(err)
+	}
+	// Machine "b" leaves: half the capacity disappears before anything
+	// has observed time passing, so one job must abort.
+	if err := b.Deregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 1 || aborted[0] != 2 {
+		t.Fatalf("aborted = %v, want [2]", aborted)
+	}
+}

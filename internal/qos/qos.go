@@ -1,0 +1,284 @@
+// Package qos implements the two components of the MILAN resource
+// management architecture (Section 3 of the paper): per-application QoS
+// agents, which describe an application's real-time constraints, resource
+// requirements and tunability as a set of alternative execution paths, and
+// the system-wide QoS arbitrator, which performs admission control and
+// returns a resource allocation profile for one of those paths.
+//
+// The negotiation model is the static one evaluated in the paper: the agent
+// communicates all possible execution paths up front and receives either a
+// grant (chosen path plus a start time and processor count for every task)
+// or a rejection.  Renegotiation hooks exist for capacity changes reported
+// by the resource broker.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"milan/internal/core"
+)
+
+// ErrRejected is returned by Negotiate when admission control fails: no
+// execution path of the application can be scheduled to meet its deadlines.
+var ErrRejected = errors.New("qos: request rejected by admission control")
+
+// Grant is the arbitrator's answer to a successful negotiation: the chosen
+// execution path and the reservation for each of its tasks.  The agent uses
+// Chain to configure the application (e.g. set its control parameters) and
+// the placement to know when each parallel step may run.
+type Grant struct {
+	JobID     int
+	Chain     int     // index of the chosen execution path
+	Quality   float64 // output quality of the chosen path
+	Placement core.Placement
+}
+
+// Finish returns the completion time of the granted reservation.
+func (g *Grant) Finish() float64 { return g.Placement.Finish() }
+
+// Negotiator is anything an agent can negotiate with: the in-process
+// arbitrator or a qosnet client speaking to a remote one.
+type Negotiator interface {
+	Negotiate(job core.Job) (*Grant, error)
+}
+
+// Decision records one admission decision for observers.
+type Decision struct {
+	Job      core.Job
+	Grant    *Grant // nil when rejected
+	Rejected bool
+	Now      float64
+}
+
+// Arbitrator is the system-wide QoS arbitrator: it owns the machine's
+// capacity profile and serializes admission decisions.  It is safe for
+// concurrent use (agents negotiate from many goroutines; decisions are
+// ordered by lock acquisition).
+type Arbitrator struct {
+	mu       sync.Mutex
+	sched    *core.Scheduler
+	now      float64
+	observer func(Decision)
+	history  []Decision
+	keepHist bool
+}
+
+// ArbitratorConfig configures a new arbitrator.
+type ArbitratorConfig struct {
+	Procs   int           // machine size (required)
+	Origin  float64       // schedule start time
+	Options *core.Options // scheduler policy; nil means the paper's defaults
+	// KeepHistory retains every Decision for inspection (tests, CLIs).
+	KeepHistory bool
+	// Observer, if set, is called synchronously with every decision.
+	Observer func(Decision)
+}
+
+// NewArbitrator returns an arbitrator managing cfg.Procs processors.
+func NewArbitrator(cfg ArbitratorConfig) (*Arbitrator, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("qos: arbitrator needs at least 1 processor, got %d", cfg.Procs)
+	}
+	return &Arbitrator{
+		sched:    core.NewScheduler(cfg.Procs, cfg.Origin, cfg.Options),
+		now:      cfg.Origin,
+		observer: cfg.Observer,
+		keepHist: cfg.KeepHistory,
+	}, nil
+}
+
+// Procs returns the machine size.
+func (a *Arbitrator) Procs() int { return a.sched.Procs() }
+
+// Negotiate runs admission control for the job: it evaluates every execution
+// path, reserves the best schedulable one (per the greedy heuristic's
+// tie-breaking rules) and returns the grant, or ErrRejected.
+func (a *Arbitrator) Negotiate(job core.Job) (*Grant, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	pl, err := a.sched.Admit(job)
+	if err != nil {
+		if errors.Is(err, core.ErrRejected) {
+			a.record(Decision{Job: job, Rejected: true, Now: a.now})
+			return nil, ErrRejected
+		}
+		return nil, err
+	}
+	g := &Grant{
+		JobID:     job.ID,
+		Chain:     pl.Chain,
+		Quality:   job.Chains[pl.Chain].Quality,
+		Placement: *pl,
+	}
+	a.record(Decision{Job: job, Grant: g, Now: a.now})
+	return g, nil
+}
+
+// NegotiateDAG runs admission control for a DAG job (an application whose
+// execution paths are precedence graphs rather than chains).  DAG
+// negotiations update scheduler statistics but are not recorded in the
+// decision history.
+func (a *Arbitrator) NegotiateDAG(job core.DAGJob) (*Grant, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pl, err := a.sched.AdmitDAG(job)
+	if err != nil {
+		if errors.Is(err, core.ErrRejected) {
+			return nil, ErrRejected
+		}
+		return nil, err
+	}
+	return &Grant{
+		JobID:     job.ID,
+		Chain:     pl.Chain,
+		Quality:   job.Alts[pl.Chain].Quality,
+		Placement: *pl,
+	}, nil
+}
+
+// Observe informs the arbitrator that time has advanced (the simulation
+// clock, or wall-clock progress in a live deployment), letting it compact
+// its bookkeeping.
+func (a *Arbitrator) Observe(now float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if now > a.now {
+		a.now = now
+		a.sched.Observe(now)
+	}
+}
+
+// Now returns the last observed time.
+func (a *Arbitrator) Now() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.now
+}
+
+// Utilization returns reserved capacity as a fraction over [origin, horizon].
+func (a *Arbitrator) Utilization(origin, horizon float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.Utilization(origin, horizon)
+}
+
+// BusyUpTo returns total reserved processor-time up to t.
+func (a *Arbitrator) BusyUpTo(t float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.BusyUpTo(t)
+}
+
+// Stats returns scheduler counters (admitted, rejected, chain choices).
+func (a *Arbitrator) Stats() core.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.Stats()
+}
+
+// History returns the recorded decisions (empty unless KeepHistory).
+func (a *Arbitrator) History() []Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Decision(nil), a.history...)
+}
+
+func (a *Arbitrator) record(d Decision) {
+	if a.keepHist {
+		a.history = append(a.history, d)
+	}
+	if a.observer != nil {
+		a.observer(d)
+	}
+}
+
+// Agent is the application-side QoS agent.  It carries the application's
+// task system (all execution paths with resource requirements, deadlines
+// and qualities — in the full system this is generated from the tunability
+// language by the preprocessor) and a Configure callback through which the
+// granted path's control-parameter assignment is pushed into the
+// application.
+type Agent struct {
+	Job core.Job
+	// Configure, if set, is invoked once with the grant so the application
+	// can set its control parameters before execution (Section 3.2: "the
+	// QoS agent then configures the application to execute along that
+	// path").
+	Configure func(*Grant)
+
+	grant *Grant
+}
+
+// NewAgent returns an agent for the given application task system.
+func NewAgent(job core.Job) *Agent { return &Agent{Job: job} }
+
+// NegotiateWith submits the agent's task system to the negotiator.  On
+// success the grant is retained and the Configure callback runs.
+func (ag *Agent) NegotiateWith(n Negotiator) (*Grant, error) {
+	if err := ag.Job.Validate(); err != nil {
+		return nil, fmt.Errorf("qos: agent job invalid: %w", err)
+	}
+	g, err := n.Negotiate(ag.Job)
+	if err != nil {
+		return nil, err
+	}
+	ag.grant = g
+	if ag.Configure != nil {
+		ag.Configure(g)
+	}
+	return g, nil
+}
+
+// Grant returns the grant from the last successful negotiation, or nil.
+func (ag *Agent) Grant() *Grant { return ag.grant }
+
+// ChosenChain returns the granted execution path, or an error before a
+// successful negotiation.
+func (ag *Agent) ChosenChain() (core.Chain, error) {
+	if ag.grant == nil {
+		return core.Chain{}, errors.New("qos: agent has no grant")
+	}
+	return ag.Job.Chains[ag.grant.Chain], nil
+}
+
+// DAGAgent is the QoS agent for applications whose execution paths are
+// precedence graphs (task_par programs): the DAG counterpart of Agent.
+type DAGAgent struct {
+	Job core.DAGJob
+	// Configure, if set, runs once with the grant so the application can
+	// set its control parameters before execution.
+	Configure func(*Grant)
+
+	grant *Grant
+}
+
+// DAGNegotiator is anything a DAG agent can negotiate with: the in-process
+// arbitrator or a qosnet client.
+type DAGNegotiator interface {
+	NegotiateDAG(job core.DAGJob) (*Grant, error)
+}
+
+// NewDAGAgent returns an agent for a DAG task system.
+func NewDAGAgent(job core.DAGJob) *DAGAgent { return &DAGAgent{Job: job} }
+
+// NegotiateWith submits the DAG task system to the negotiator.
+func (ag *DAGAgent) NegotiateWith(n DAGNegotiator) (*Grant, error) {
+	if err := ag.Job.Validate(); err != nil {
+		return nil, fmt.Errorf("qos: dag agent job invalid: %w", err)
+	}
+	g, err := n.NegotiateDAG(ag.Job)
+	if err != nil {
+		return nil, err
+	}
+	ag.grant = g
+	if ag.Configure != nil {
+		ag.Configure(g)
+	}
+	return g, nil
+}
+
+// Grant returns the grant from the last successful negotiation, or nil.
+func (ag *DAGAgent) Grant() *Grant { return ag.grant }

@@ -1,0 +1,51 @@
+package qosnet
+
+import (
+	"errors"
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/qos"
+)
+
+func dagJob(id int, deadline float64) core.DAGJob {
+	return core.DAGJob{ID: id, Alts: []core.DAG{{
+		Name: "diamond",
+		Tasks: []core.DAGTask{
+			{Task: core.Task{Procs: 2, Duration: 5, Deadline: deadline}},
+			{Task: core.Task{Procs: 2, Duration: 10, Deadline: deadline}, Preds: []int{0}},
+			{Task: core.Task{Procs: 2, Duration: 10, Deadline: deadline}, Preds: []int{0}},
+			{Task: core.Task{Procs: 2, Duration: 5, Deadline: deadline}, Preds: []int{1, 2}},
+		},
+	}}}
+}
+
+func TestNegotiateDAGOverTCP(t *testing.T) {
+	_, cli := startServer(t, 4)
+	g, err := cli.NegotiateDAG(dagJob(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Placement.Tasks) != 4 {
+		t.Fatalf("placement = %+v", g.Placement)
+	}
+	// Both middle tasks run concurrently on the 4-proc machine.
+	if g.Placement.Tasks[1].Start != g.Placement.Tasks[2].Start {
+		t.Fatalf("branches not concurrent across the wire: %+v", g.Placement.Tasks)
+	}
+}
+
+func TestNegotiateDAGRejectionOverTCP(t *testing.T) {
+	_, cli := startServer(t, 4)
+	_, err := cli.NegotiateDAG(dagJob(1, 15)) // makespan 20 > 15
+	if !errors.Is(err, qos.ErrRejected) {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+}
+
+func TestNegotiateDAGInvalidJobOverTCP(t *testing.T) {
+	_, cli := startServer(t, 4)
+	if _, err := cli.NegotiateDAG(core.DAGJob{ID: 1}); err == nil {
+		t.Fatal("invalid DAG job accepted")
+	}
+}

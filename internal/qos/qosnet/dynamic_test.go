@@ -1,0 +1,97 @@
+package qosnet
+
+import (
+	"errors"
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/qos"
+)
+
+func startDynamic(t *testing.T, procs int) (*qos.DynamicArbitrator, *Client) {
+	t.Helper()
+	dyn, err := qos.NewDynamicArbitrator(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServeDynamic(dyn, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return dyn, cli
+}
+
+func TestDynamicServerNegotiateAndSetCapacity(t *testing.T) {
+	_, cli := startDynamic(t, 8)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := cli.Negotiate(job(1, 4, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Finish() != 10 {
+		t.Fatalf("finish = %v", g1.Finish())
+	}
+	if _, err := cli.Negotiate(job(2, 4, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// A remote operator halves the machine: one job aborts.
+	aborted, err := cli.SetCapacity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 1 || aborted[0] != 2 {
+		t.Fatalf("aborted = %v", aborted)
+	}
+	st, err := cli.DynStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted != 1 || st.CapacityEvents != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := cli.SetCapacity(0); err == nil {
+		t.Fatal("capacity 0 accepted over the wire")
+	}
+}
+
+func TestDynamicServerObserveAndWaiting(t *testing.T) {
+	dyn, cli := startDynamic(t, 4)
+	if _, err := cli.Negotiate(job(1, 4, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Observe(50); err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.Active()) != 0 {
+		t.Fatal("finished job still active after remote observe")
+	}
+	n, err := cli.Waiting()
+	if err != nil || n != 0 {
+		t.Fatalf("waiting = (%d, %v)", n, err)
+	}
+	u, err := cli.Utilization(0, 10)
+	if err != nil || u != 1 {
+		t.Fatalf("utilization = (%v, %v)", u, err)
+	}
+}
+
+func TestDynamicServerRejectsUnsupportedOps(t *testing.T) {
+	_, cli := startDynamic(t, 4)
+	if _, err := cli.Stats(); err == nil {
+		t.Fatal("static stats op accepted by dynamic server")
+	}
+	if _, err := cli.NegotiateDAG(core.DAGJob{ID: 1}); err == nil {
+		t.Fatal("DAG op accepted by dynamic server")
+	}
+	if _, err := cli.Negotiate(job(1, 8, 1, 100)); !errors.Is(err, qos.ErrRejected) {
+		t.Fatalf("err = %v, want rejection (job too wide)", err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package qosnet puts the QoS negotiation protocol on the wire: a TCP
+// server wrapping a qos.Arbitrator and a client that implements
+// qos.Negotiator, so QoS agents in other processes (or on other machines of
+// the cluster) can negotiate resource reservations.  Messages are
+// gob-encoded request/response pairs over a persistent connection.
+package qosnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"milan/internal/core"
+	"milan/internal/qos"
+)
+
+type op int
+
+const (
+	opNegotiate op = iota + 1
+	opObserve
+	opStats
+	opUtilization
+	opPing
+	opNegotiateDAG
+	opSetCapacity
+	opDynStats
+	opWaiting
+)
+
+// request is the wire envelope sent by clients.
+type request struct {
+	Op      op
+	Job     core.Job
+	DAGJob  core.DAGJob
+	Now     float64
+	Origin  float64
+	Horizon float64
+	Procs   int
+}
+
+// response is the wire envelope returned by the server.
+type response struct {
+	Grant    *qos.Grant
+	Rejected bool
+	Err      string
+	Stats    core.Stats
+	DynStats qos.DynamicStats
+	Aborted  []int
+	Value    float64
+	Count    int
+}
+
+// Server exposes an arbitrator over a listener.  Each accepted connection
+// is served by its own goroutine; the arbitrator itself serializes
+// decisions.
+type Server struct {
+	arb *qos.Arbitrator
+	dyn *qos.DynamicArbitrator
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the arbitrator on ln and returns immediately.
+func Serve(arb *qos.Arbitrator, ln net.Listener) *Server {
+	s := &Server{arb: arb, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves the
+// arbitrator on it.
+func ListenAndServe(arb *qos.Arbitrator, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qosnet: listen %s: %w", addr, err)
+	}
+	return Serve(arb, ln), nil
+}
+
+// ServeDynamic serves a renegotiating arbitrator: in addition to the
+// negotiation ops, clients may change the machine size (the path a remote
+// resource broker or operator uses) and read renegotiation statistics.
+func ServeDynamic(dyn *qos.DynamicArbitrator, ln net.Listener) *Server {
+	s := &Server{dyn: dyn, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ListenAndServeDynamic listens on addr and serves the dynamic arbitrator.
+func ListenAndServeDynamic(dyn *qos.DynamicArbitrator, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qosnet: listen %s: %w", addr, err)
+	}
+	return ServeDynamic(dyn, ln), nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	if s.dyn != nil {
+		return s.dispatchDynamic(req)
+	}
+	switch req.Op {
+	case opNegotiate:
+		g, err := s.arb.Negotiate(req.Job)
+		switch {
+		case errors.Is(err, qos.ErrRejected):
+			return response{Rejected: true}
+		case err != nil:
+			return response{Err: err.Error()}
+		default:
+			return response{Grant: g}
+		}
+	case opNegotiateDAG:
+		g, err := s.arb.NegotiateDAG(req.DAGJob)
+		switch {
+		case errors.Is(err, qos.ErrRejected):
+			return response{Rejected: true}
+		case err != nil:
+			return response{Err: err.Error()}
+		default:
+			return response{Grant: g}
+		}
+	case opObserve:
+		s.arb.Observe(req.Now)
+		return response{}
+	case opStats:
+		return response{Stats: s.arb.Stats()}
+	case opUtilization:
+		return response{Value: s.arb.Utilization(req.Origin, req.Horizon)}
+	case opPing:
+		return response{}
+	default:
+		return response{Err: fmt.Sprintf("qosnet: unknown op %d", req.Op)}
+	}
+}
+
+// dispatchDynamic serves requests against the renegotiating arbitrator.
+func (s *Server) dispatchDynamic(req request) response {
+	switch req.Op {
+	case opNegotiate:
+		g, err := s.dyn.Negotiate(req.Job)
+		switch {
+		case errors.Is(err, qos.ErrRejected):
+			return response{Rejected: true}
+		case err != nil:
+			return response{Err: err.Error()}
+		default:
+			return response{Grant: g}
+		}
+	case opObserve:
+		s.dyn.Observe(req.Now)
+		return response{}
+	case opSetCapacity:
+		aborted, err := s.dyn.SetCapacity(req.Procs)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Aborted: aborted}
+	case opDynStats:
+		return response{DynStats: s.dyn.Stats()}
+	case opWaiting:
+		return response{Count: s.dyn.Waiting()}
+	case opUtilization:
+		return response{Value: s.dyn.Utilization(req.Origin, req.Horizon)}
+	case opPing:
+		return response{}
+	default:
+		return response{Err: fmt.Sprintf("qosnet: op %d not supported by dynamic arbitrator", req.Op)}
+	}
+}
+
+// Client speaks the protocol over one persistent TCP connection.  It is
+// safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ qos.Negotiator = (*Client)(nil)
+
+// Dial connects to a qosnet server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qosnet: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("qosnet: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("qosnet: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Negotiate submits a job's task system to the remote arbitrator.
+func (c *Client) Negotiate(job core.Job) (*qos.Grant, error) {
+	resp, err := c.roundTrip(request{Op: opNegotiate, Job: job})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rejected {
+		return nil, qos.ErrRejected
+	}
+	if resp.Grant == nil {
+		return nil, errors.New("qosnet: malformed response: no grant")
+	}
+	return resp.Grant, nil
+}
+
+// NegotiateDAG submits a DAG job to the remote arbitrator.
+func (c *Client) NegotiateDAG(job core.DAGJob) (*qos.Grant, error) {
+	resp, err := c.roundTrip(request{Op: opNegotiateDAG, DAGJob: job})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rejected {
+		return nil, qos.ErrRejected
+	}
+	if resp.Grant == nil {
+		return nil, errors.New("qosnet: malformed response: no grant")
+	}
+	return resp.Grant, nil
+}
+
+// Observe reports clock progress to the remote arbitrator.
+func (c *Client) Observe(now float64) error {
+	_, err := c.roundTrip(request{Op: opObserve, Now: now})
+	return err
+}
+
+// Stats fetches the remote arbitrator's counters.
+func (c *Client) Stats() (core.Stats, error) {
+	resp, err := c.roundTrip(request{Op: opStats})
+	return resp.Stats, err
+}
+
+// Utilization fetches reserved-capacity fraction over [origin, horizon].
+func (c *Client) Utilization(origin, horizon float64) (float64, error) {
+	resp, err := c.roundTrip(request{Op: opUtilization, Origin: origin, Horizon: horizon})
+	return resp.Value, err
+}
+
+// Ping verifies connectivity.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{Op: opPing})
+	return err
+}
+
+// SetCapacity renegotiates a dynamic server's machine size, returning the
+// IDs of aborted jobs.
+func (c *Client) SetCapacity(procs int) ([]int, error) {
+	resp, err := c.roundTrip(request{Op: opSetCapacity, Procs: procs})
+	return resp.Aborted, err
+}
+
+// DynStats fetches a dynamic server's renegotiation counters.
+func (c *Client) DynStats() (qos.DynamicStats, error) {
+	resp, err := c.roundTrip(request{Op: opDynStats})
+	return resp.DynStats, err
+}
+
+// Waiting fetches a dynamic server's queued-rejection count.
+func (c *Client) Waiting() (int, error) {
+	resp, err := c.roundTrip(request{Op: opWaiting})
+	return resp.Count, err
+}

@@ -1,0 +1,385 @@
+// Package resbroker implements the MILAN ResourceBroker (Section 2): a
+// registry of machines that dynamically associates resources with parallel
+// computations according to user-specified policies, and notifies
+// subscribers (such as the QoS arbitrator) when capacity changes so they
+// can trigger renegotiation.
+package resbroker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Resource is one machine contributed to the pool.
+type Resource struct {
+	ID    string
+	Procs int
+	// Speed is a relative performance factor (1.0 = baseline); policies
+	// may weight allocations by it.
+	Speed float64
+	// Tags carry user attributes for policy matching (e.g. "arch", "site").
+	Tags map[string]string
+}
+
+// Validate checks the resource description.
+func (r Resource) Validate() error {
+	if r.ID == "" {
+		return errors.New("resbroker: resource needs an ID")
+	}
+	if r.Procs < 1 {
+		return fmt.Errorf("resbroker: resource %s has %d procs", r.ID, r.Procs)
+	}
+	if r.Speed <= 0 {
+		return fmt.Errorf("resbroker: resource %s has speed %v", r.ID, r.Speed)
+	}
+	return nil
+}
+
+// Share is a slice of one resource granted to a computation.
+type Share struct {
+	ResourceID string
+	Procs      int
+}
+
+// Request asks the broker for capacity on behalf of a computation.
+type Request struct {
+	Computation string
+	MinProcs    int
+	MaxProcs    int // 0 means MinProcs
+	// RequireTags restricts eligible resources to those carrying every
+	// listed tag value.
+	RequireTags map[string]string
+}
+
+// EventKind classifies capacity-change notifications.
+type EventKind int
+
+// Event kinds.
+const (
+	EventRegistered EventKind = iota
+	EventDeregistered
+	EventBound
+	EventReleased
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRegistered:
+		return "registered"
+	case EventDeregistered:
+		return "deregistered"
+	case EventBound:
+		return "bound"
+	case EventReleased:
+		return "released"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one capacity change.
+type Event struct {
+	Kind        EventKind
+	Resource    string
+	Computation string
+	// FreeProcs is the pool's total uncommitted capacity after the event;
+	// the arbitrator uses it to decide whether renegotiation is worthwhile.
+	FreeProcs int
+}
+
+// Policy decides how a request maps onto eligible resources.
+type Policy interface {
+	// Allocate returns shares covering at least req.MinProcs (and at most
+	// req.MaxProcs) from the eligible resources, each annotated with its
+	// free capacity.  It must not return shares exceeding free capacity.
+	Allocate(req Request, eligible []Availability) ([]Share, error)
+	// Name identifies the policy in errors and logs.
+	Name() string
+}
+
+// Availability pairs a resource with its current free processor count.
+type Availability struct {
+	Resource Resource
+	Free     int
+}
+
+// FirstFit packs the request onto the fewest resources in registration
+// order — the default policy.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Allocate implements Policy.
+func (FirstFit) Allocate(req Request, eligible []Availability) ([]Share, error) {
+	want := req.MaxProcs
+	if want < req.MinProcs {
+		want = req.MinProcs
+	}
+	var shares []Share
+	got := 0
+	for _, a := range eligible {
+		if got >= want {
+			break
+		}
+		take := want - got
+		if take > a.Free {
+			take = a.Free
+		}
+		if take <= 0 {
+			continue
+		}
+		shares = append(shares, Share{ResourceID: a.Resource.ID, Procs: take})
+		got += take
+	}
+	if got < req.MinProcs {
+		return nil, fmt.Errorf("resbroker: first-fit: %d procs available, need %d", got, req.MinProcs)
+	}
+	return shares, nil
+}
+
+// FastestFirst prefers resources with the highest speed factor, spreading
+// the request over the quickest machines.
+type FastestFirst struct{}
+
+// Name implements Policy.
+func (FastestFirst) Name() string { return "fastest-first" }
+
+// Allocate implements Policy.
+func (FastestFirst) Allocate(req Request, eligible []Availability) ([]Share, error) {
+	sorted := append([]Availability(nil), eligible...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Resource.Speed > sorted[j].Resource.Speed
+	})
+	return FirstFit{}.Allocate(req, sorted)
+}
+
+// Binding records the shares currently granted to a computation.
+type Binding struct {
+	Computation string
+	Shares      []Share
+}
+
+// Procs returns the binding's total processor count.
+func (b Binding) Procs() int {
+	total := 0
+	for _, s := range b.Shares {
+		total += s.Procs
+	}
+	return total
+}
+
+// Broker is the resource broker.  It is safe for concurrent use.
+type Broker struct {
+	mu        sync.Mutex
+	policy    Policy
+	resources map[string]Resource
+	order     []string       // registration order for deterministic allocation
+	committed map[string]int // per-resource procs committed
+	bindings  map[string]Binding
+	subs      []func(Event)
+}
+
+// New returns a broker using the given policy (nil means FirstFit).
+func New(policy Policy) *Broker {
+	if policy == nil {
+		policy = FirstFit{}
+	}
+	return &Broker{
+		policy:    policy,
+		resources: make(map[string]Resource),
+		committed: make(map[string]int),
+		bindings:  make(map[string]Binding),
+	}
+}
+
+// Subscribe registers a capacity-change observer; it is called
+// synchronously, in order, with every event, after the broker's lock is
+// released (so observers may call back into the broker).
+func (b *Broker) Subscribe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, fn)
+}
+
+// Register adds a resource to the pool.
+func (b *Broker) Register(r Resource) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if _, dup := b.resources[r.ID]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("resbroker: resource %s already registered", r.ID)
+	}
+	b.resources[r.ID] = r
+	b.order = append(b.order, r.ID)
+	notify := b.notifyLocked(Event{Kind: EventRegistered, Resource: r.ID, FreeProcs: b.freeLocked()})
+	b.mu.Unlock()
+	notify()
+	return nil
+}
+
+// Deregister removes a resource.  Removal fails while a computation still
+// holds a share of it (the caller must release bindings first, mirroring
+// the non-preemptive allocation model).
+func (b *Broker) Deregister(id string) error {
+	b.mu.Lock()
+	if _, ok := b.resources[id]; !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("resbroker: resource %s not registered", id)
+	}
+	if b.committed[id] > 0 {
+		err := fmt.Errorf("resbroker: resource %s has %d committed procs", id, b.committed[id])
+		b.mu.Unlock()
+		return err
+	}
+	delete(b.resources, id)
+	delete(b.committed, id)
+	for i, oid := range b.order {
+		if oid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	notify := b.notifyLocked(Event{Kind: EventDeregistered, Resource: id, FreeProcs: b.freeLocked()})
+	b.mu.Unlock()
+	notify()
+	return nil
+}
+
+// Bind allocates capacity for a computation under the broker's policy.
+func (b *Broker) Bind(req Request) (Binding, error) {
+	if req.Computation == "" {
+		return Binding{}, errors.New("resbroker: request needs a computation name")
+	}
+	if req.MinProcs < 1 {
+		return Binding{}, fmt.Errorf("resbroker: request needs MinProcs >= 1, got %d", req.MinProcs)
+	}
+	b.mu.Lock()
+	if _, dup := b.bindings[req.Computation]; dup {
+		b.mu.Unlock()
+		return Binding{}, fmt.Errorf("resbroker: computation %s already bound", req.Computation)
+	}
+	var eligible []Availability
+	for _, id := range b.order {
+		r := b.resources[id]
+		if !tagsMatch(r.Tags, req.RequireTags) {
+			continue
+		}
+		free := r.Procs - b.committed[id]
+		if free > 0 {
+			eligible = append(eligible, Availability{Resource: r, Free: free})
+		}
+	}
+	shares, err := b.policy.Allocate(req, eligible)
+	if err != nil {
+		b.mu.Unlock()
+		return Binding{}, err
+	}
+	// Validate the policy's answer before committing.
+	for _, s := range shares {
+		r, ok := b.resources[s.ResourceID]
+		if !ok {
+			b.mu.Unlock()
+			return Binding{}, fmt.Errorf("resbroker: policy %s allocated unknown resource %s", b.policy.Name(), s.ResourceID)
+		}
+		if s.Procs < 1 || b.committed[s.ResourceID]+s.Procs > r.Procs {
+			b.mu.Unlock()
+			return Binding{}, fmt.Errorf("resbroker: policy %s overcommitted resource %s", b.policy.Name(), s.ResourceID)
+		}
+	}
+	for _, s := range shares {
+		b.committed[s.ResourceID] += s.Procs
+	}
+	binding := Binding{Computation: req.Computation, Shares: shares}
+	b.bindings[req.Computation] = binding
+	notify := b.notifyLocked(Event{Kind: EventBound, Computation: req.Computation, FreeProcs: b.freeLocked()})
+	b.mu.Unlock()
+	notify()
+	return binding, nil
+}
+
+// Release returns a computation's shares to the pool.
+func (b *Broker) Release(computation string) error {
+	b.mu.Lock()
+	binding, ok := b.bindings[computation]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("resbroker: computation %s not bound", computation)
+	}
+	for _, s := range binding.Shares {
+		b.committed[s.ResourceID] -= s.Procs
+		if b.committed[s.ResourceID] < 0 {
+			b.committed[s.ResourceID] = 0
+		}
+	}
+	delete(b.bindings, computation)
+	notify := b.notifyLocked(Event{Kind: EventReleased, Computation: computation, FreeProcs: b.freeLocked()})
+	b.mu.Unlock()
+	notify()
+	return nil
+}
+
+// TotalProcs returns the pool's registered capacity.
+func (b *Broker) TotalProcs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, r := range b.resources {
+		total += r.Procs
+	}
+	return total
+}
+
+// FreeProcs returns the pool's uncommitted capacity.
+func (b *Broker) FreeProcs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.freeLocked()
+}
+
+// Bindings returns a snapshot of current bindings, sorted by computation.
+func (b *Broker) Bindings() []Binding {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Binding, 0, len(b.bindings))
+	for _, bd := range b.bindings {
+		out = append(out, bd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Computation < out[j].Computation })
+	return out
+}
+
+func (b *Broker) freeLocked() int {
+	free := 0
+	for id, r := range b.resources {
+		free += r.Procs - b.committed[id]
+	}
+	return free
+}
+
+// notifyLocked snapshots the subscriber list under the lock and returns a
+// closure that delivers the event after the lock is released, so observers
+// may call back into the broker without deadlocking.
+func (b *Broker) notifyLocked(ev Event) func() {
+	subs := make([]func(Event), len(b.subs))
+	copy(subs, b.subs)
+	return func() {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+func tagsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+// Package sim is a small discrete-event simulation engine: a clock and a
+// time-ordered event heap with deterministic tie-breaking.  The experiment
+// harness drives job arrivals, QoS negotiations and completion callbacks
+// through it (Section 5.3's synthetic task system).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.  Events fire in (time, schedule-order)
+// order; two events at the same instant fire in the order they were
+// scheduled, making runs reproducible.
+type Event struct {
+	Time float64
+	Name string
+
+	fn        func()
+	seq       int64
+	index     int // heap index, -1 when fired or cancelled
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine owns the clock and the pending-event heap.  The zero value is
+// ready to use and starts at time 0.
+type Engine struct {
+	now     float64
+	events  eventHeap
+	seq     int64
+	stopped bool
+
+	// Processed counts events fired since creation.
+	Processed int
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t (>= Now) and returns the event
+// handle for cancellation.  Scheduling into the past panics: it indicates a
+// causality bug in the model, not a recoverable condition.
+func (e *Engine) At(t float64, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: scheduling %q at NaN", name))
+	}
+	ev := &Event{Time: t, Name: name, fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d time units from now.
+func (e *Engine) After(d float64, name string, fn func()) *Event {
+	return e.At(e.now+d, name, fn)
+}
+
+// Cancel removes a pending event; firing it becomes a no-op.  Cancelling an
+// already-fired event is harmless.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.Time
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the heap is empty or Stop is called, returning the
+// number of events fired by this call.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with Time <= t, then advances the clock to t (if t
+// is later than the last event fired).  It returns the number fired.
+func (e *Engine) RunUntil(t float64) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+	return n
+}
+
+// peek returns the time of the next uncancelled event.
+func (e *Engine) peek() (float64, bool) {
+	for e.events.Len() > 0 {
+		if e.events[0].cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].Time, true
+	}
+	return 0, false
+}
+
+// eventHeap orders by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

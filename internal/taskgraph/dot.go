@@ -1,0 +1,135 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph's structure in Graphviz DOT form: task nodes
+// as boxes (one line per configuration), selects as diamonds with guarded
+// edges, loops and parallel groups as labeled clusters.  It documents the
+// OR graph the QoS agent negotiates with.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if g.Root == nil {
+		return fmt.Errorf("taskgraph: graph %q has no root", g.Name)
+	}
+	d := &dotWriter{w: w}
+	fmt.Fprintf(w, "digraph %q {\n", g.Name)
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [fontsize=10];")
+	entry := d.node("entry", "oval", g.Name)
+	exits := d.walk(g.Root, []string{entry})
+	done := d.node("exit", "oval", "done")
+	for _, e := range exits {
+		d.edge(e, done, "")
+	}
+	fmt.Fprintln(w, "}")
+	return d.err
+}
+
+type dotWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+func (d *dotWriter) node(kind, shape, label string) string {
+	id := fmt.Sprintf("n%d_%s", d.n, kind)
+	d.n++
+	if d.err == nil {
+		_, d.err = fmt.Fprintf(d.w, "  %s [shape=%s,label=%q];\n", id, shape, label)
+	}
+	return id
+}
+
+func (d *dotWriter) edge(from, to, label string) {
+	if d.err != nil {
+		return
+	}
+	if label != "" {
+		_, d.err = fmt.Fprintf(d.w, "  %s -> %s [label=%q];\n", from, to, label)
+	} else {
+		_, d.err = fmt.Fprintf(d.w, "  %s -> %s;\n", from, to)
+	}
+}
+
+// walk emits nodes for n, connecting from every id in `from`, and returns
+// the exit node ids.
+func (d *dotWriter) walk(n Node, from []string) []string {
+	switch v := n.(type) {
+	case *TaskNode:
+		var lines []string
+		lines = append(lines, fmt.Sprintf("%s (dl %g)", v.Name, v.Deadline))
+		for _, c := range v.Configs {
+			lines = append(lines, fmt.Sprintf("%v: %dp x %g", c.Assign, c.Procs, c.Duration))
+		}
+		for _, r := range v.Ranges {
+			lines = append(lines, fmt.Sprintf("%s=%g..%g/%g: %s p x %s", r.Param, r.Lo, r.Hi, r.Step, r.Procs, r.Duration))
+		}
+		id := d.node("task", "box", strings.Join(lines, "\\n"))
+		for _, f := range from {
+			d.edge(f, id, "")
+		}
+		return []string{id}
+	case Seq:
+		cur := from
+		for _, c := range v {
+			cur = d.walk(c, cur)
+		}
+		return cur
+	case *Select:
+		id := d.node("select", "diamond", "select "+v.Name)
+		for _, f := range from {
+			d.edge(f, id, "")
+		}
+		var exits []string
+		for _, br := range v.Branches {
+			label := br.When.String()
+			if len(br.Finally) > 0 {
+				label += " / " + joinAssigns(br.Finally)
+			}
+			bodyExits := d.walkGuarded(br.Body, id, label)
+			exits = append(exits, bodyExits...)
+		}
+		return exits
+	case *Loop:
+		id := d.node("loop", "hexagon", fmt.Sprintf("loop %s x %s", v.Name, v.Count))
+		for _, f := range from {
+			d.edge(f, id, "")
+		}
+		exits := d.walk(v.Body, []string{id})
+		for _, e := range exits {
+			d.edge(e, id, "repeat")
+		}
+		return exits
+	case *Par:
+		id := d.node("par", "trapezium", "par "+v.Name)
+		for _, f := range from {
+			d.edge(f, id, "")
+		}
+		joinID := d.node("join", "invtrapezium", "join "+v.Name)
+		for _, br := range v.Branches {
+			exits := d.walk(br, []string{id})
+			for _, e := range exits {
+				d.edge(e, joinID, "")
+			}
+		}
+		return []string{joinID}
+	default:
+		d.node("unknown", "plaintext", fmt.Sprintf("%T", n))
+		return from
+	}
+}
+
+// walkGuarded is walk with a label on the entry edges.
+func (d *dotWriter) walkGuarded(n Node, from, label string) []string {
+	switch n.(type) {
+	case Seq, *TaskNode, *Select, *Loop, *Par:
+		marker := d.node("when", "point", "")
+		d.edge(from, marker, label)
+		return d.walk(n, []string{marker})
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,59 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTJunction(t *testing.T) {
+	var sb strings.Builder
+	if err := junctionGraph().WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph", "rankdir=TB", "sampleImage", "select markRegion",
+		"computeJunctions", "sampleGranularity == 16", "c = 1", "done", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT not closed")
+	}
+}
+
+func TestWriteDOTParAndLoopAndRange(t *testing.T) {
+	var sb strings.Builder
+	if err := parGraph().WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "par analyses") || !strings.Contains(sb.String(), "join analyses") {
+		t.Errorf("par/join missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := rangedGraph().WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "g=4..16/4") {
+		t.Errorf("range line missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	loop := &Graph{Name: "l", Root: &Loop{Name: "main", Count: Lit(3), Body: &TaskNode{
+		Name: "t", Deadline: 5, Configs: []Config{{Procs: 1, Duration: 1}},
+	}}}
+	if err := loop.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "loop main x 3") || !strings.Contains(sb.String(), "repeat") {
+		t.Errorf("loop missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteDOTEmptyGraph(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Graph{Name: "e"}).WriteDOT(&sb); err == nil {
+		t.Fatal("rootless graph rendered")
+	}
+}

@@ -1,0 +1,202 @@
+package taskgraph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// rangedGraph models a fine-continuous sampling knob: granularity g sweeps
+// 4..16 in steps of 4; processors and time are symbolic in g.
+func rangedGraph() *Graph {
+	return &Graph{
+		Name:   "continuous",
+		Params: map[string]float64{"g": math.NaN()},
+		Root: &TaskNode{
+			Name:     "sample",
+			Deadline: 100,
+			Params:   []string{"g"},
+			Ranges: []RangeSpec{{
+				Param: "g", Lo: 4, Hi: 16, Step: 4,
+				Procs:    Binary{OpDiv, Lit(48), Ref("g")}, // 12, 6, 4, 3
+				Duration: Binary{OpDiv, Ref("g"), Lit(2)},  // 2, 4, 6, 8
+				Quality:  Binary{OpSub, Lit(1), Binary{OpDiv, Ref("g"), Lit(100)}},
+			}},
+		},
+	}
+}
+
+func TestRangeSpecValidate(t *testing.T) {
+	good := RangeSpec{Param: "g", Lo: 1, Hi: 10, Step: 1, Procs: Lit(1), Duration: Lit(1)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []RangeSpec{
+		{Lo: 1, Hi: 10, Step: 1, Procs: Lit(1), Duration: Lit(1)},                // no param
+		{Param: "g", Lo: 1, Hi: 10, Step: 0, Procs: Lit(1), Duration: Lit(1)},    // zero step
+		{Param: "g", Lo: 10, Hi: 1, Step: 1, Procs: Lit(1), Duration: Lit(1)},    // inverted
+		{Param: "g", Lo: 0, Hi: 1e6, Step: 0.1, Procs: Lit(1), Duration: Lit(1)}, // too many values
+		{Param: "g", Lo: 1, Hi: 10, Step: 1, Duration: Lit(1)},                   // no procs expr
+		{Param: "g", Lo: 1, Hi: 10, Step: 1, Procs: Lit(1)},                      // no duration expr
+	}
+	for i, c := range cases {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestRangeEnumeratesDiscretizedKnob(t *testing.T) {
+	g := rangedGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	chains, envs, err := g.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 {
+		t.Fatalf("paths = %d, want 4 (g in {4,8,12,16})", len(chains))
+	}
+	// g=4: 12 procs x 2; g=16: 3 procs x 8; quality 1-g/100.
+	first, last := chains[0], chains[3]
+	if first.Tasks[0].Procs != 12 || first.Tasks[0].Duration != 2 {
+		t.Errorf("g=4 config = %+v", first.Tasks[0])
+	}
+	if last.Tasks[0].Procs != 3 || last.Tasks[0].Duration != 8 {
+		t.Errorf("g=16 config = %+v", last.Tasks[0])
+	}
+	if math.Abs(first.Quality-0.96) > 1e-12 {
+		t.Errorf("g=4 quality = %v", first.Quality)
+	}
+	if envs[0]["g"] != 4 || envs[3]["g"] != 16 {
+		t.Errorf("envs = %v", envs)
+	}
+}
+
+func TestRangeRejectsNonIntegralProcs(t *testing.T) {
+	g := rangedGraph()
+	// 64/g over {4, 8, 12, 16}: 64/12 is not integral.
+	g.Root.(*TaskNode).Ranges[0].Procs = Binary{OpDiv, Lit(64), Ref("g")}
+	_, _, err := g.Enumerate(0)
+	if err == nil {
+		t.Fatal("non-integral processor expression enumerated")
+	}
+	if !strings.Contains(err.Error(), "positive integer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRangeBoundParameterActsAsGuard(t *testing.T) {
+	// An upstream task binds g; the ranged task must then use exactly that
+	// value (fine-continuous knobs restricted by earlier coarse choices).
+	g := &Graph{
+		Name:   "guarded",
+		Params: map[string]float64{"g": math.NaN()},
+		Root: Seq{
+			&TaskNode{
+				Name:     "choose",
+				Deadline: 10,
+				Params:   []string{"g"},
+				Configs: []Config{
+					{Assign: map[string]float64{"g": 8}, Procs: 1, Duration: 1},
+				},
+			},
+			&TaskNode{
+				Name:     "ranged",
+				Deadline: 100,
+				Params:   []string{"g"},
+				Ranges: []RangeSpec{{
+					Param: "g", Lo: 4, Hi: 16, Step: 4,
+					Procs:    Binary{OpDiv, Lit(64), Ref("g")},
+					Duration: Lit(5),
+				}},
+			},
+		},
+	}
+	chains, envs, err := g.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("paths = %d, want 1 (g pinned to 8)", len(chains))
+	}
+	if chains[0].Tasks[1].Procs != 8 {
+		t.Errorf("ranged task procs = %d, want 64/8", chains[0].Tasks[1].Procs)
+	}
+	if envs[0]["g"] != 8 {
+		t.Errorf("env = %v", envs[0])
+	}
+}
+
+func TestRangeBoundOutsideIntervalKillsPath(t *testing.T) {
+	g := &Graph{
+		Name:   "dead",
+		Params: map[string]float64{"g": 99}, // initialized outside [4,16]
+		Root: &TaskNode{
+			Name:     "ranged",
+			Deadline: 100,
+			Params:   []string{"g"},
+			Ranges: []RangeSpec{{
+				Param: "g", Lo: 4, Hi: 16, Step: 4,
+				Procs: Lit(2), Duration: Lit(5),
+			}},
+		},
+	}
+	if _, _, err := g.Enumerate(0); err == nil {
+		t.Fatal("path with out-of-range bound parameter survived")
+	}
+}
+
+func TestRangeErrorsSurfaceFromExpressions(t *testing.T) {
+	mk := func(procs, dur, quality Expr) *Graph {
+		return &Graph{
+			Name:   "bad",
+			Params: map[string]float64{"g": math.NaN()},
+			Root: &TaskNode{
+				Name: "t", Deadline: 10, Params: []string{"g"},
+				Ranges: []RangeSpec{{Param: "g", Lo: 1, Hi: 2, Step: 1,
+					Procs: procs, Duration: dur, Quality: quality}},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"unbound ref in procs", mk(Ref("missing"), Lit(1), nil)},
+		{"zero procs", mk(Lit(0), Lit(1), nil)},
+		{"fractional procs", mk(Lit(1.5), Lit(1), nil)},
+		{"negative duration", mk(Lit(1), Lit(-2), nil)},
+		{"zero quality", mk(Lit(1), Lit(1), Lit(0))},
+	}
+	for _, c := range cases {
+		if _, _, err := c.g.Enumerate(0); err == nil {
+			t.Errorf("%s: enumerated", c.name)
+		}
+	}
+}
+
+func TestRangeDescribe(t *testing.T) {
+	out := rangedGraph().String()
+	for _, want := range []string{"ranges=1", "config range g = 4 .. 16 step 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRangeLimitStillEnforced(t *testing.T) {
+	g := &Graph{
+		Name:   "wide",
+		Params: map[string]float64{"g": math.NaN()},
+		Root: &TaskNode{
+			Name: "t", Deadline: 10, Params: []string{"g"},
+			Ranges: []RangeSpec{{Param: "g", Lo: 1, Hi: 100, Step: 1,
+				Procs: Lit(1), Duration: Lit(1)}},
+		},
+	}
+	if _, _, err := g.Enumerate(10); err == nil {
+		t.Fatal("100-value range fit in a 10-path limit")
+	}
+}

@@ -1,0 +1,71 @@
+package tunelang
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/taskgraph"
+)
+
+func TestParseTaskPar(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/pipeline.tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse("pipeline", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := g.Root.(taskgraph.Seq)
+	par, ok := root[1].(*taskgraph.Par)
+	if !ok {
+		t.Fatalf("second step is %T, want *Par", root[1])
+	}
+	if par.Name != "analyses" || len(par.Branches) != 2 {
+		t.Fatalf("par = %+v", par)
+	}
+	dags, envs, err := g.EnumerateDAGs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 2 {
+		t.Fatalf("paths = %d", len(dags))
+	}
+	if envs[0]["mode"] != 1 || envs[1]["mode"] != 2 {
+		t.Fatalf("envs = %v", envs)
+	}
+	// The parsed program schedules with branch overlap on a wide machine.
+	job, _, err := g.DAGJob(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewScheduler(8, 0, nil)
+	pl, err := s.AdmitDAG(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Tasks[1].Start != pl.Tasks[2].Start {
+		t.Fatalf("branches not concurrent: %+v %+v", pl.Tasks[1], pl.Tasks[2])
+	}
+}
+
+func TestParseTaskParErrors(t *testing.T) {
+	oneBranch := `
+task_par p {
+    task a deadline 5 { config require 1 procs 1 time; }
+}`
+	if _, err := Parse("one", oneBranch); err == nil ||
+		!strings.Contains(err.Error(), "at least two") {
+		t.Fatalf("err = %v", err)
+	}
+	reserved := `task task_par deadline 5 { config require 1 procs 1 time; }`
+	if _, err := Parse("reserved", reserved); err == nil {
+		t.Fatal("task_par accepted as a task name")
+	}
+	empty := `task_par p { }`
+	if _, err := Parse("empty", empty); err == nil {
+		t.Fatal("empty task_par accepted")
+	}
+}

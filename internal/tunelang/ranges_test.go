@@ -1,0 +1,173 @@
+package tunelang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"milan/internal/taskgraph"
+)
+
+// The paper's footnote on fine-continuous tunability: the sampling
+// granularity "serves as a knob which can vary application resource
+// requirements over a continuous range".
+const continuousSrc = `
+task_control_parameters { g; }
+
+task sampleImage deadline 100 params (g) {
+    config range (g = 4 .. 16 step 4) require (48 / g) procs (g / 2) time quality (1 - g / 100);
+}
+`
+
+func TestParseRangeConfig(t *testing.T) {
+	g, err := Parse("continuous", continuousSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := g.Root.(taskgraph.Seq)[0].(*taskgraph.TaskNode)
+	if len(task.Ranges) != 1 || len(task.Configs) != 0 {
+		t.Fatalf("ranges = %d, configs = %d", len(task.Ranges), len(task.Configs))
+	}
+	r := task.Ranges[0]
+	if r.Param != "g" || r.Lo != 4 || r.Hi != 16 || r.Step != 4 {
+		t.Fatalf("range = %+v", r)
+	}
+	chains, envs, err := g.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 {
+		t.Fatalf("paths = %d, want 4", len(chains))
+	}
+	// Symbolic expressions evaluated at each knob value.
+	if chains[0].Tasks[0].Procs != 12 || chains[0].Tasks[0].Duration != 2 {
+		t.Errorf("g=4: %+v", chains[0].Tasks[0])
+	}
+	if chains[3].Tasks[0].Procs != 3 || chains[3].Tasks[0].Duration != 8 {
+		t.Errorf("g=16: %+v", chains[3].Tasks[0])
+	}
+	if math.Abs(chains[1].Quality-0.92) > 1e-12 {
+		t.Errorf("g=8 quality = %v", chains[1].Quality)
+	}
+	if envs[2]["g"] != 12 {
+		t.Errorf("env = %v", envs[2])
+	}
+}
+
+func TestParseRangeMixedWithStaticConfigs(t *testing.T) {
+	src := `
+task_control_parameters { g; }
+task s deadline 50 params (g) {
+    config (g = 99) require 2 procs 1 time;
+    config range (g = 10 .. 20 step 10) require 4 procs (g) time;
+}
+`
+	g, err := Parse("mixed", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, _, err := g.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 3 {
+		t.Fatalf("paths = %d, want 3 (1 static + 2 ranged)", len(chains))
+	}
+}
+
+func TestParseRangeWithSymbolicCrossParameterExpressions(t *testing.T) {
+	// The range task's resources depend on an upstream parameter too.
+	src := `
+task_control_parameters { mode; g; }
+task pick deadline 10 params (mode) {
+    config (mode = 1) require 1 procs 1 time;
+    config (mode = 2) require 1 procs 1 time;
+}
+task s deadline 50 params (g) {
+    config range (g = 2 .. 4 step 2) require (g * mode) procs (g + mode) time;
+}
+`
+	g, err := Parse("cross", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, envs, err := g.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 {
+		t.Fatalf("paths = %d, want 4 (2 modes x 2 knob values)", len(chains))
+	}
+	for i, c := range chains {
+		mode, g := envs[i]["mode"], envs[i]["g"]
+		if float64(c.Tasks[1].Procs) != g*mode {
+			t.Errorf("path %d: procs %d, want %v", i, c.Tasks[1].Procs, g*mode)
+		}
+		if c.Tasks[1].Duration != g+mode {
+			t.Errorf("path %d: duration %v, want %v", i, c.Tasks[1].Duration, g+mode)
+		}
+	}
+}
+
+func TestParseRangeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared range param", `
+task s deadline 50 { config range (g = 1 .. 2 step 1) require 1 procs 1 time; }`,
+			"not in task"},
+		{"missing step", `
+task_control_parameters { g; }
+task s deadline 50 params (g) { config range (g = 1 .. 2) require 1 procs 1 time; }`,
+			`expected "step"`},
+		{"missing dots", `
+task_control_parameters { g; }
+task s deadline 50 params (g) { config range (g = 1 2 step 1) require 1 procs 1 time; }`,
+			`expected ".."`},
+		{"inverted interval", `
+task_control_parameters { g; }
+task s deadline 50 params (g) { config range (g = 5 .. 2 step 1) require 1 procs 1 time; }`,
+			"empty interval"},
+		{"zero step", `
+task_control_parameters { g; }
+task s deadline 50 params (g) { config range (g = 1 .. 5 step 0) require 1 procs 1 time; }`,
+			"step"},
+		{"range as param name", `
+task_control_parameters { range; }
+task s deadline 50 { config require 1 procs 1 time; }`,
+			"reserved word"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: parsed", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLexerRangeOperatorVersusNumbers(t *testing.T) {
+	toks, err := lexAll("4..64 1.5 .5 a..b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind tokKind
+		text string
+	}{
+		{tokNumber, "4"}, {tokPunct, ".."}, {tokNumber, "64"},
+		{tokNumber, "1.5"}, {tokNumber, ".5"},
+		{tokIdent, "a"}, {tokPunct, ".."}, {tokIdent, "b"},
+		{tokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].kind != w.kind || (w.text != "" && toks[i].text != w.text) {
+			t.Errorf("tok %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package milan is a Go reproduction of "Exploiting Application Tunability
+// for Efficient, Predictable Parallel Resource Management" (Chang,
+// Karamcheti, Kedem — IPPS/SPDP 1999): predictable parallel resource
+// management that exploits application tunability, the ability of an
+// application to trade resource requirements over time while maintaining
+// output quality.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Scheduling core (tasks, chains, tunable jobs, the greedy
+//     maximal-holes heuristic): internal/core, re-exported here.
+//   - QoS agents and the QoS arbitrator (Section 3's architecture),
+//     including a TCP negotiation protocol: internal/qos.
+//   - OR task graphs and the tunability language (Section 4):
+//     internal/taskgraph, internal/tunelang.
+//   - The Calypso-like parallel runtime (Section 2): internal/calypso.
+//   - The synthetic task system and figure harness (Section 5):
+//     internal/workload, internal/experiments.
+//   - The tunable junction-detection application (Sections 3.2/4.3):
+//     internal/junction.
+//
+// Quick start:
+//
+//	arb, _ := milan.NewArbitrator(milan.ArbitratorConfig{Procs: 16})
+//	job := milan.Job{ID: 1, Chains: []milan.Chain{ ... }}
+//	grant, err := milan.NewAgent(job).NegotiateWith(arb)
+package milan
+
+import (
+	"milan/internal/core"
+	"milan/internal/qos"
+	"milan/internal/taskgraph"
+	"milan/internal/tunelang"
+)
+
+// Core scheduling model (Section 5 of the paper).
+type (
+	// Task is one stage of a job's chain; see core.Task.
+	Task = core.Task
+	// Chain is one execution path of a job.
+	Chain = core.Chain
+	// Job is a unit of admission; multiple chains make it tunable.
+	Job = core.Job
+	// Placement is the reservation granted to an admitted job.
+	Placement = core.Placement
+	// TaskPlacement is one task's slot within a placement.
+	TaskPlacement = core.TaskPlacement
+	// Options selects scheduler policies (placement engine, tie-breaking,
+	// malleable allocation).
+	Options = core.Options
+	// Scheduler is the greedy admission-control scheduler.
+	Scheduler = core.Scheduler
+	// Stats carries scheduler counters.
+	Stats = core.Stats
+	// Hole is a maximal free rectangle in the processor-time plane.
+	Hole = core.Hole
+	// Profile is the committed-capacity-over-time view of the machine.
+	Profile = core.Profile
+	// Assignment binds a placed task to concrete processor IDs.
+	Assignment = core.Assignment
+)
+
+// QoS architecture (Section 3).
+type (
+	// Agent is the application-side QoS agent.
+	Agent = qos.Agent
+	// Arbitrator is the system-wide QoS arbitrator.
+	Arbitrator = qos.Arbitrator
+	// ArbitratorConfig configures NewArbitrator.
+	ArbitratorConfig = qos.ArbitratorConfig
+	// Grant is a successful negotiation's result.
+	Grant = qos.Grant
+	// Negotiator is anything an agent can negotiate with.
+	Negotiator = qos.Negotiator
+	// Decision records one admission decision.
+	Decision = qos.Decision
+)
+
+// Task graphs and the tunability language (Section 4).
+type (
+	// Graph is an application's OR task graph.
+	Graph = taskgraph.Graph
+	// TaskNode, Select, Loop, Seq and Branch build graphs programmatically.
+	TaskNode = taskgraph.TaskNode
+	// Select models the task_select construct.
+	Select = taskgraph.Select
+	// Loop models the task_loop construct.
+	Loop = taskgraph.Loop
+	// Seq runs nodes in order.
+	Seq = taskgraph.Seq
+	// Branch is one when-arm of a Select.
+	Branch = taskgraph.Branch
+	// Par is a parallel step group (task_par): execution paths become DAGs.
+	Par = taskgraph.Par
+	// GraphConfig is one admissible task configuration.
+	GraphConfig = taskgraph.Config
+	// Env binds control parameters during path enumeration.
+	Env = taskgraph.Env
+)
+
+// Scheduler policy constants, re-exported for Options.
+const (
+	EngineProfile = core.EngineProfile
+	EngineHoles   = core.EngineHoles
+
+	TieBreakPaper     = core.TieBreakPaper
+	TieBreakFirstFit  = core.TieBreakFirstFit
+	TieBreakMinArea   = core.TieBreakMinArea
+	TieBreakUtilFirst = core.TieBreakUtilFirst
+
+	MalleableDescending     = core.MalleableDescending
+	MalleableEarliestFinish = core.MalleableEarliestFinish
+
+	PlaceGreedy    = core.PlaceGreedy
+	PlaceBacktrack = core.PlaceBacktrack
+)
+
+// ErrRejected is returned when admission control rejects a job.
+var ErrRejected = qos.ErrRejected
+
+// NewScheduler returns the greedy admission-control scheduler for `procs`
+// processors starting at time origin (nil opts = the paper's policies).
+func NewScheduler(procs int, origin float64, opts *Options) *Scheduler {
+	return core.NewScheduler(procs, origin, opts)
+}
+
+// NewArbitrator returns a QoS arbitrator.
+func NewArbitrator(cfg ArbitratorConfig) (*Arbitrator, error) {
+	return qos.NewArbitrator(cfg)
+}
+
+// NewAgent returns a QoS agent for the application task system.
+func NewAgent(job Job) *Agent { return qos.NewAgent(job) }
+
+// ParseTunability compiles tunability-language source (the paper's
+// Section-4 extensions) into a task graph; the graph's Job method
+// materializes admissible jobs.
+func ParseTunability(name, src string) (*Graph, error) {
+	return tunelang.Parse(name, src)
+}
+
+// AssignProcessors converts count-based placements into concrete
+// processor-ID bindings.
+func AssignProcessors(capacity int, placements []*Placement) ([]Assignment, error) {
+	return core.AssignProcessors(capacity, placements)
+}
+
+// DAG scheduling ("a chain, or more generally, a dag" — Section 3.1).
+type (
+	// DAG is a precedence graph of tasks.
+	DAG = core.DAG
+	// DAGTask is one DAG node: a task plus predecessor indices.
+	DAGTask = core.DAGTask
+	// DAGJob is a tunable job over alternative DAGs.
+	DAGJob = core.DAGJob
+)
+
+// Renegotiation (Section 3.1's dynamic resource levels).
+type (
+	// DynamicArbitrator renegotiates reservations when capacity changes.
+	DynamicArbitrator = qos.DynamicArbitrator
+	// DynamicStats counts renegotiation events.
+	DynamicStats = qos.DynamicStats
+)
+
+// RangeSpec is a fine-continuous tunability knob with symbolic resource
+// expressions (Section 4.1's third tunability model).
+type RangeSpec = taskgraph.RangeSpec
+
+// NewDynamicArbitrator returns a renegotiating arbitrator for capacity
+// that changes over time (machines joining or leaving the pool).
+func NewDynamicArbitrator(procs int, opts *Options) (*DynamicArbitrator, error) {
+	return qos.NewDynamicArbitrator(procs, opts)
+}
+
+// Multi-resource scheduling: the paper's request-vector model ("a vector
+// of values, one for each resource in the system").
+type (
+	// VectorCapacity names the machine's resource dimensions.
+	VectorCapacity = core.VectorCapacity
+	// VectorTask is a task with a per-dimension request.
+	VectorTask = core.VectorTask
+	// VectorChain is one execution path of a vector job.
+	VectorChain = core.VectorChain
+	// VectorJob is a tunable job over vector chains.
+	VectorJob = core.VectorJob
+	// VectorScheduler admits vector jobs.
+	VectorScheduler = core.VectorScheduler
+	// VectorPlacement is a vector job's reservation.
+	VectorPlacement = core.VectorPlacement
+)
+
+// NewVectorScheduler returns a scheduler over a multi-dimensional
+// capacity (processors, memory, bandwidth, ...).
+func NewVectorScheduler(vc VectorCapacity, origin float64) (*VectorScheduler, error) {
+	return core.NewVectorScheduler(vc, origin)
+}

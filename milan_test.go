@@ -1,0 +1,98 @@
+package milan_test
+
+import (
+	"errors"
+	"testing"
+
+	"milan"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	arb, err := milan.NewArbitrator(milan.ArbitratorConfig{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := milan.Job{ID: 1, Chains: []milan.Chain{
+		{Name: "fast", Quality: 1, Tasks: []milan.Task{
+			{Name: "a", Procs: 8, Duration: 5, Deadline: 50},
+		}},
+		{Name: "slow", Quality: 0.9, Tasks: []milan.Task{
+			{Name: "b", Procs: 2, Duration: 20, Deadline: 50},
+		}},
+	}}
+	grant, err := milan.NewAgent(job).NegotiateWith(arb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Chain != 0 {
+		t.Fatalf("chain = %d, want 0 (earliest finish)", grant.Chain)
+	}
+	asn, err := milan.AssignProcessors(8, []*milan.Placement{&grant.Placement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn) != 1 || len(asn[0].Procs) != 8 {
+		t.Fatalf("assignment = %+v", asn)
+	}
+}
+
+func TestFacadeRejection(t *testing.T) {
+	arb, err := milan.NewArbitrator(milan.ArbitratorConfig{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := milan.Job{ID: 1, Chains: []milan.Chain{
+		{Name: "big", Tasks: []milan.Task{{Name: "a", Procs: 4, Duration: 5, Deadline: 50}}},
+	}}
+	_, err = milan.NewAgent(job).NegotiateWith(arb)
+	if !errors.Is(err, milan.ErrRejected) {
+		t.Fatalf("err = %v, want milan.ErrRejected", err)
+	}
+}
+
+func TestFacadeParseTunability(t *testing.T) {
+	g, err := milan.ParseTunability("demo", `
+task_control_parameters { mode; }
+task work deadline 20 params (mode) {
+    config (mode = 1) require 4 procs 5 time quality 1.0;
+    config (mode = 2) require 1 procs 18 time quality 0.8;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, envs, err := g.Job(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Tunable() || len(envs) != 2 {
+		t.Fatalf("job = %+v envs = %v", job, envs)
+	}
+	sched := milan.NewScheduler(4, 0, nil)
+	pl, err := sched.Admit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chain != 0 {
+		t.Fatalf("chain = %d, want 0 (4x5 finishes first)", pl.Chain)
+	}
+}
+
+func TestFacadeSchedulerOptions(t *testing.T) {
+	opts := &milan.Options{
+		Engine:    milan.EngineHoles,
+		TieBreak:  milan.TieBreakMinArea,
+		Malleable: milan.MalleableEarliestFinish,
+	}
+	s := milan.NewScheduler(4, 0, opts)
+	job := milan.Job{ID: 1, Chains: []milan.Chain{
+		{Name: "m", Tasks: []milan.Task{{Name: "w", Malleable: true, Work: 8, MaxProcs: 4, Deadline: 100}}},
+	}}
+	pl, err := s.Admit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Tasks[0].Procs != 4 {
+		t.Fatalf("procs = %d, want 4", pl.Tasks[0].Procs)
+	}
+}
