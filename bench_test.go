@@ -14,6 +14,7 @@ import (
 	"milan/internal/core"
 	"milan/internal/experiments"
 	"milan/internal/junction"
+	"milan/internal/obs"
 	"milan/internal/workload"
 )
 
@@ -220,6 +221,36 @@ func BenchmarkAblationMalleableEarliestFinish(b *testing.B) {
 func BenchmarkSchedulerAdmitTunable(b *testing.B) {
 	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
 	s := core.NewScheduler(16, 0, nil)
+	release := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		release += 30
+		s.Observe(release)
+		_, _ = s.Admit(spec.Job(i, release, workload.Tunable))
+	}
+}
+
+// BenchmarkAdmitNilSink is the unobserved fast path: Options carry no
+// hooks, so every hook site is one nil pointer comparison.  Compare with
+// BenchmarkAdmitInstrumented to measure the observability layer's cost.
+func BenchmarkAdmitNilSink(b *testing.B) {
+	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
+	s := core.NewScheduler(16, 0, &core.Options{})
+	release := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		release += 30
+		s.Observe(release)
+		_, _ = s.Admit(spec.Job(i, release, workload.Tunable))
+	}
+}
+
+// BenchmarkAdmitInstrumented runs the same admission stream with a full
+// observer attached (registry metrics + ring-buffer tracing).
+func BenchmarkAdmitInstrumented(b *testing.B) {
+	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
+	o := obs.New(obs.Config{})
+	s := core.NewScheduler(16, 0, o.InstrumentOptions(nil))
 	release := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -7,18 +7,22 @@
 // Usage:
 //
 //	junctiond [-size N] [-rects K] [-workers W] [-seed S] [-faults]
+//	          [-debug-addr HOST:PORT]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	"milan/internal/calypso"
 	"milan/internal/junction"
+	"milan/internal/obs"
 )
 
 func main() {
@@ -29,7 +33,19 @@ func main() {
 	faults := flag.Bool("faults", false, "inject worker faults to exercise eager scheduling")
 	radius := flag.Float64("radius", 4, "match radius for quality scoring")
 	video := flag.Int("video", 0, "process a synthetic video of N frames instead of a single image")
+	debugAddr := flag.String("debug-addr", "", "serve the observability debug endpoint (/metrics, /trace, /gantt) on this address")
 	flag.Parse()
+
+	var observer *obs.Observer
+	if *debugAddr != "" {
+		observer = obs.New(obs.Config{})
+		addr, srv, err := startDebug(observer, *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt)\n\n", addr)
+	}
 
 	if *video > 0 {
 		if err := runVideo(*video, *workers, *seed, *radius); err != nil {
@@ -58,7 +74,11 @@ func main() {
 		if *faults {
 			plan = &calypso.FaultPlan{TransientProb: 0.15, CrashProb: 0.02, MaxCrashes: *workers - 1, Seed: *seed}
 		}
-		rt, err := calypso.New(calypso.Config{Workers: *workers, Faults: plan})
+		cfg := calypso.Config{Workers: *workers, Faults: plan}
+		if observer != nil {
+			cfg.Hooks = observer.CalypsoHooks()
+		}
+		rt, err := calypso.New(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,4 +140,16 @@ func runVideo(frames, workers int, seed int64, radius float64) error {
 	tw.Flush()
 	fmt.Printf("\nmean F1: fine %.3f, coarse %.3f\n", fineSum/float64(frames), coarseSum/float64(frames))
 	return nil
+}
+
+// startDebug serves the observer's debug handler on addr, returning the
+// bound address and the server (close it to stop serving).
+func startDebug(o *obs.Observer, addr string) (net.Addr, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr(), srv, nil
 }

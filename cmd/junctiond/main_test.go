@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"milan/internal/calypso"
+	"milan/internal/junction"
+	"milan/internal/obs"
+)
+
+// TestStartDebugServesInstrumentedRun runs one junction-detection config
+// with Calypso hooks attached and checks the debug endpoint reports it.
+func TestStartDebugServesInstrumentedRun(t *testing.T) {
+	o := obs.New(obs.Config{})
+	addr, srv, err := startDebug(o, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rt, err := calypso.New(calypso.Config{Workers: 2, Hooks: o.CalypsoHooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := junction.Synthesize(junction.SynthSpec{W: 64, H: 64, Rectangles: 2, Noise: 0.02, Seed: 1})
+	if _, err := junction.RunScored(rt, im, junction.CoarseParams(), truth, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[obs.MetricCalypsoSteps] == 0 {
+		t.Fatalf("no calypso steps recorded: %v", snap.Counters)
+	}
+	if snap.Counters[obs.MetricCalypsoExecs] == 0 {
+		t.Fatalf("no calypso executions recorded: %v", snap.Counters)
+	}
+
+	resp2, err := http.Get("http://" + addr.String() + "/trace?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var evs []obs.Event
+	if err := json.NewDecoder(resp2.Body).Decode(&evs); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(evs) == 0 || len(evs) > 5 {
+		t.Fatalf("/trace?n=5 returned %d events", len(evs))
+	}
+}
+
+func TestStartDebugBadAddr(t *testing.T) {
+	if _, _, err := startDebug(obs.New(obs.Config{}), "127.0.0.1:999999"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"milan/internal/core"
 	"milan/internal/experiments"
+	"milan/internal/obs"
 	"milan/internal/workload"
 )
 
@@ -36,11 +38,18 @@ func main() {
 	plot := flag.Bool("plot", false, "render figures as ASCII charts in addition to tables")
 	csvOut := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	replicas := flag.Int("replicas", 10, "seeds for the replicate subcommand")
+	tracePath := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
+	showMetrics := flag.Bool("metrics", false, "print the final metrics registry after the run")
 	flag.Parse()
 	replicaCount = *replicas
 	plotFigures = *plot
 	csvFigures = *csvOut
 	cfg.Malleable = *malleable
+	var observer *obs.Observer
+	if *tracePath != "" || *showMetrics {
+		observer = obs.New(obs.Config{KeepPlacements: *tracePath != "", Capacity: cfg.Procs})
+		cfg.Obs = observer
+	}
 	switch *tiebreak {
 	case "paper":
 	case "firstfit":
@@ -62,6 +71,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tunesim:", err)
 		os.Exit(1)
 	}
+	if err := finishObs(os.Stdout, observer, *tracePath, *showMetrics); err != nil {
+		fmt.Fprintln(os.Stderr, "tunesim:", err)
+		os.Exit(1)
+	}
+}
+
+// finishObs renders the post-run observability artifacts: the metrics table
+// on out when showMetrics is set and the Chrome trace file when tracePath is
+// set.  A nil observer is a no-op.
+func finishObs(out io.Writer, o *obs.Observer, tracePath string, showMetrics bool) error {
+	if o == nil {
+		return nil
+	}
+	if showMetrics {
+		fmt.Fprintln(out, "\nmetrics:")
+		if err := o.Reg.WriteTable(out); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote chrome trace to %s (load it in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
 }
 
 // plotFigures renders ASCII charts after each figure table when set.
@@ -80,7 +123,12 @@ func ganttDemo(out *os.File, cfg experiments.Config) error {
 	if n > 12 {
 		n = 12
 	}
-	sched := core.NewScheduler(cfg.Procs, 0, cfg.Opts)
+	opts := cfg.Opts
+	if cfg.Obs != nil {
+		opts = cfg.Obs.InstrumentOptions(cfg.Opts)
+		cfg.Obs.SetCapacity(cfg.Procs)
+	}
+	sched := core.NewScheduler(cfg.Procs, 0, opts)
 	arrivals := workload.NewPoisson(cfg.MeanInterarrival, cfg.Seed)
 	var placements []*core.Placement
 	release := 0.0

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"milan/internal/experiments"
+	"milan/internal/obs"
 )
 
 // testCfg is a tiny configuration so every subcommand runs in milliseconds.
@@ -56,5 +61,104 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	cfg.Job.Alpha = 0.3 // 16*0.3 not integral
 	if err := run(cfg, "fig5a"); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestFinishObsMetricsTable runs an instrumented point experiment and checks
+// the -metrics table reports the admission counters.
+func TestFinishObsMetricsTable(t *testing.T) {
+	cfg := testCfg()
+	o := obs.New(obs.Config{Capacity: cfg.Procs})
+	cfg.Obs = o
+	if err := run(cfg, "point"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := finishObs(&buf, o, "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"metrics:", obs.MetricAdmitted, obs.MetricChainsTried, obs.MetricHolesProbed, obs.MetricSimEvents, obs.MetricDecisions} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+	if o.Snapshot().Counters[obs.MetricAdmitted] == 0 {
+		t.Fatal("no admissions counted")
+	}
+}
+
+// TestFinishObsTraceRoundTrips runs an instrumented experiment with
+// placement retention and checks the -trace file parses back.
+func TestFinishObsTraceRoundTrips(t *testing.T) {
+	cfg := testCfg()
+	cfg.Jobs = 20
+	o := obs.New(obs.Config{KeepPlacements: true, Capacity: cfg.Procs})
+	cfg.Obs = o
+	if err := run(cfg, "point"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := finishObs(&buf, o, path, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), path) {
+		t.Fatalf("output does not mention the trace file:\n%s", buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ParseChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, instants int
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no schedule spans")
+	}
+	if instants == 0 {
+		t.Fatal("trace has no decision instants")
+	}
+}
+
+// TestFinishObsNilObserver is the unobserved fast path: nothing happens.
+func TestFinishObsNilObserver(t *testing.T) {
+	var buf bytes.Buffer
+	if err := finishObs(&buf, nil, "ignored.json", true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil observer wrote output: %q", buf.String())
+	}
+	if _, err := os.Stat("ignored.json"); err == nil {
+		t.Fatal("nil observer created a trace file")
+	}
+}
+
+// TestGanttDemoInstrumented checks the gantt subcommand also feeds the
+// observer when one is configured.
+func TestGanttDemoInstrumented(t *testing.T) {
+	cfg := testCfg()
+	o := obs.New(obs.Config{KeepPlacements: true})
+	cfg.Obs = o
+	if err := run(cfg, "gantt"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Snapshot().Counters[obs.MetricAdmitted] == 0 {
+		t.Fatal("gantt demo did not count admissions")
+	}
+	if len(o.Placements()) == 0 {
+		t.Fatal("gantt demo did not retain placements")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Value is what the shared store holds.  Values must be treated as
@@ -122,6 +123,26 @@ type Metrics struct {
 // everything except its TaskCtx writes — it may run more than once.
 type RoutineFunc func(ctx *TaskCtx, width, number int) error
 
+// TraceHooks observes runtime execution.  Every field is optional; nil
+// fields cost one pointer comparison at the call site (the observability
+// layer's zero-cost contract).  Hooks run on worker goroutines and must be
+// safe for concurrent use; TaskExec may fire after StepDone for straggler
+// executions that outlive their step.
+type TraceHooks struct {
+	// StepStart fires when a parallel step begins executing, with the
+	// step's sequence number (0-based per runtime) and its task count.
+	StepStart func(step, tasks int)
+	// StepDone fires when a parallel step completes or fails.
+	StepDone func(step int, d time.Duration, err error)
+	// TaskExec fires after each task execution attempt: the worker that
+	// ran it, the attempt number (1 = first execution) and whether this
+	// execution won the commit race.
+	TaskExec func(step, worker, task, attempt int, start time.Time, d time.Duration, committed bool)
+	// WorkerFault fires on injected faults: kind is "crash", "transient"
+	// or "slow".
+	WorkerFault func(step, worker int, kind string)
+}
+
 // Config configures a runtime.
 type Config struct {
 	// Workers is the number of worker goroutines ("processors").  Must be
@@ -138,6 +159,9 @@ type Config struct {
 	// MaxAttempts bounds executions per task (0 = 16*Workers, a generous
 	// default that still terminates if injected fault rates are extreme).
 	MaxAttempts int
+	// Hooks optionally observes step and task execution (tracing); the
+	// zero value disables observation.
+	Hooks TraceHooks
 }
 
 // Runtime executes Calypso programs.
@@ -146,7 +170,17 @@ type Runtime struct {
 	store   *Store
 	metrics Metrics
 	alive   int        // workers not yet crashed (crashes are permanent)
-	mu      sync.Mutex // guards metrics and alive
+	steps   int        // step sequence numbers handed out
+	mu      sync.Mutex // guards metrics, alive and steps
+}
+
+// nextStepID hands out the next step sequence number.
+func (rt *Runtime) nextStepID() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	id := rt.steps
+	rt.steps++
+	return id
 }
 
 // New returns a runtime with the given configuration.

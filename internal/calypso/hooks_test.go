@@ -1,0 +1,144 @@
+package calypso
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hookLog captures TraceHooks callbacks under a mutex (workers call
+// TaskExec and WorkerFault concurrently).
+type hookLog struct {
+	mu         sync.Mutex
+	starts     []int // tasks per step
+	dones      []int // step ids
+	execs      int
+	committed  int
+	faults     map[string]int
+	lastStepID int
+}
+
+func (l *hookLog) hooks() TraceHooks {
+	return TraceHooks{
+		StepStart: func(step, tasks int) {
+			l.mu.Lock()
+			l.starts = append(l.starts, tasks)
+			l.lastStepID = step
+			l.mu.Unlock()
+		},
+		StepDone: func(step int, d time.Duration, err error) {
+			l.mu.Lock()
+			l.dones = append(l.dones, step)
+			l.mu.Unlock()
+		},
+		TaskExec: func(step, worker, task, attempt int, start time.Time, d time.Duration, committed bool) {
+			l.mu.Lock()
+			l.execs++
+			if committed {
+				l.committed++
+			}
+			l.mu.Unlock()
+		},
+		WorkerFault: func(step, worker int, kind string) {
+			l.mu.Lock()
+			if l.faults == nil {
+				l.faults = map[string]int{}
+			}
+			l.faults[kind]++
+			l.mu.Unlock()
+		},
+	}
+}
+
+func TestTraceHooksFireOnCleanRun(t *testing.T) {
+	var log hookLog
+	rt, err := New(Config{Workers: 3, Hooks: log.hooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if err := rt.Parallel(5, func(ctx *TaskCtx, width, number int) error {
+			ctx.Write(fmt.Sprintf("s%dk%d", s, number), number)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.starts) != 2 || len(log.dones) != 2 {
+		t.Fatalf("starts/dones = %v/%v, want 2 each", log.starts, log.dones)
+	}
+	if log.starts[0] != 5 || log.starts[1] != 5 {
+		t.Fatalf("task counts = %v, want [5 5]", log.starts)
+	}
+	if log.dones[0] == log.dones[1] {
+		t.Fatalf("step ids not unique: %v", log.dones)
+	}
+	if log.execs < 10 {
+		t.Fatalf("execs = %d, want >= 10", log.execs)
+	}
+	// Exactly-once semantics: one commit per task.
+	if log.committed != 10 {
+		t.Fatalf("committed = %d, want 10", log.committed)
+	}
+	if len(log.faults) != 0 {
+		t.Fatalf("faults on a clean run: %v", log.faults)
+	}
+}
+
+func TestTraceHooksObserveFaults(t *testing.T) {
+	var log hookLog
+	rt, err := New(Config{
+		Workers: 4,
+		Faults:  &FaultPlan{TransientProb: 0.5, CrashProb: 0.1, MaxCrashes: 2, Seed: 3},
+		Hooks:   log.hooks(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Parallel(16, func(ctx *TaskCtx, width, number int) error {
+		ctx.Write(fmt.Sprintf("k%d", number), number)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if log.committed != 16 {
+		t.Fatalf("committed = %d, want 16 (exactly once despite faults)", log.committed)
+	}
+	// TaskExec fires only for executions that reach the commit race;
+	// faulted attempts surface through WorkerFault instead.
+	if log.execs < 16 {
+		t.Fatalf("execs = %d, want >= 16", log.execs)
+	}
+	var total int
+	for _, n := range log.faults {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("no faults recorded under injection: %v", log.faults)
+	}
+	m := rt.Metrics()
+	if int(m.Transients) != log.faults["transient"] {
+		t.Fatalf("transient hook count %d != metrics %d", log.faults["transient"], m.Transients)
+	}
+	if int(m.Crashes) != log.faults["crash"] {
+		t.Fatalf("crash hook count %d != metrics %d", log.faults["crash"], m.Crashes)
+	}
+}
+
+func TestZeroHooksDisableObservation(t *testing.T) {
+	rt, err := New(Config{Workers: 2}) // zero-value Hooks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Parallel(3, func(ctx *TaskCtx, width, number int) error {
+		ctx.Write(fmt.Sprintf("k%d", number), number)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

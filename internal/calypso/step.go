@@ -175,7 +175,7 @@ func (d *dispatcher) fail(err error) {
 // semantics.  End returns an error if the step cannot complete (every
 // worker crashed, a task kept failing, a routine returned an error or two
 // tasks wrote the same variable).
-func (s *Step) End() error {
+func (s *Step) End() (err error) {
 	if s.ended {
 		return fmt.Errorf("calypso: step already ended")
 	}
@@ -187,6 +187,7 @@ func (s *Step) End() error {
 		return fmt.Errorf("calypso: empty parallel step")
 	}
 	rt := s.rt
+	hooks := rt.cfg.Hooks
 
 	d := &dispatcher{done: make(chan struct{})}
 	id := 0
@@ -203,6 +204,15 @@ func (s *Step) End() error {
 	workers := rt.Alive()
 	if workers == 0 {
 		return fmt.Errorf("%w: none alive at step start", ErrNoWorkers)
+	}
+
+	stepID := rt.nextStepID()
+	if hooks.StepStart != nil {
+		hooks.StepStart(stepID, len(d.tasks))
+	}
+	if hooks.StepDone != nil {
+		stepBegan := time.Now()
+		defer func() { hooks.StepDone(stepID, time.Since(stepBegan), err) }()
 	}
 
 	var aliveMu sync.Mutex
@@ -228,6 +238,9 @@ func (s *Step) End() error {
 				d.mu.Lock()
 				d.stats.crashed++
 				d.mu.Unlock()
+				if hooks.WorkerFault != nil {
+					hooks.WorkerFault(stepID, wid, "crash")
+				}
 				aliveMu.Lock()
 				alive--
 				dead := alive == 0
@@ -240,8 +253,14 @@ func (s *Step) End() error {
 				d.mu.Lock()
 				d.stats.transients++
 				d.mu.Unlock()
+				if hooks.WorkerFault != nil {
+					hooks.WorkerFault(stepID, wid, "transient")
+				}
 				continue // abandoned; eager scheduling will retry
 			case outcomeSlow:
+				if hooks.WorkerFault != nil {
+					hooks.WorkerFault(stepID, wid, "slow")
+				}
 				time.Sleep(rt.cfg.Faults.SlowDelay)
 			}
 
@@ -264,10 +283,14 @@ func (s *Step) End() error {
 				elapsed := time.Since(started)
 				time.Sleep(time.Duration(float64(elapsed) * (1/sp - 1)))
 			}
-			if !d.commit(t, ctx.writes) {
+			won := d.commit(t, ctx.writes)
+			if !won {
 				d.mu.Lock()
 				d.stats.wasted++
 				d.mu.Unlock()
+			}
+			if hooks.TaskExec != nil {
+				hooks.TaskExec(stepID, wid, t.id, attempt, started, time.Since(started), won)
 			}
 		}
 	}

@@ -185,6 +185,7 @@ func (s *Scheduler) AdmitDAG(job DAGJob) (*Placement, error) {
 	var best *Placement
 	var bestKey chainKey
 	for ai, alt := range job.Alts {
+		s.stat.ChainsTried++
 		pl, ok := s.PlanDAG(alt, job.Release)
 		if !ok {
 			continue
@@ -201,6 +202,7 @@ func (s *Scheduler) AdmitDAG(job DAGJob) (*Placement, error) {
 	}
 	if best == nil {
 		s.stat.Rejected++
+		s.stat.PlanFailures++
 		return nil, ErrRejected
 	}
 	if err := s.ReservePlacement(best); err != nil {

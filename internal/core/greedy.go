@@ -18,6 +18,16 @@ type Stats struct {
 	// QualitySum is the total output quality of the chosen chains; divided
 	// by Admitted it is the mean achieved job quality.
 	QualitySum float64
+	// ChainsTried counts execution-path feasibility checks across all
+	// planning calls (every chain evaluated by Plan or AdmitDAG).
+	ChainsTried int
+	// HolesProbed counts placement probes: each query of the
+	// processor-time plane for a task slot (a maximal-hole enumeration
+	// under EngineHoles, a profile segment scan under EngineProfile).
+	HolesProbed int
+	// PlanFailures counts planning calls in which no execution path was
+	// schedulable.
+	PlanFailures int
 }
 
 // MeanQuality returns the mean output quality over admitted jobs.
@@ -90,9 +100,15 @@ func (s *Scheduler) Admit(job Job) (*Placement, error) {
 	if err := job.Validate(); err != nil {
 		return nil, fmt.Errorf("core: admit: %w", err)
 	}
+	if h := s.opts.Hooks; h != nil && h.AdmitStart != nil {
+		h.AdmitStart(&job)
+	}
 	pl, ok := s.Plan(job)
 	if !ok {
 		s.stat.Rejected++
+		if h := s.opts.Hooks; h != nil && h.Rejected != nil {
+			h.Rejected(&job, "no-feasible-chain")
+		}
 		return nil, ErrRejected
 	}
 	if err := s.Commit(job, pl); err != nil {
@@ -106,20 +122,42 @@ func (s *Scheduler) Admit(job Job) (*Placement, error) {
 // arbitrator to interpose policy (e.g. quality maximization across jobs)
 // between feasibility analysis and reservation.
 func (s *Scheduler) Plan(job Job) (*Placement, bool) {
+	h := s.opts.Hooks
 	var best *Placement
 	var bestKey chainKey
+	bestChain := -1
 	for ci, chain := range job.Chains {
+		s.stat.ChainsTried++
+		probesBefore := s.stat.HolesProbed
 		tasks, ok := s.placeChain(chain, job.Release)
+		if h != nil && h.HolesProbed != nil {
+			h.HolesProbed(&job, ci, s.stat.HolesProbed-probesBefore)
+		}
 		if !ok {
+			if h != nil && h.ChainTried != nil {
+				h.ChainTried(&job, ci, false, 0)
+			}
 			continue
 		}
 		pl := &Placement{JobID: job.ID, Chain: ci, Tasks: tasks}
+		if h != nil && h.ChainTried != nil {
+			h.ChainTried(&job, ci, true, pl.Finish())
+		}
 		key := s.chainSortKey(pl, chain, job.Release)
 		if best == nil || s.better(key, bestKey) {
-			best, bestKey = pl, key
+			if best != nil && h != nil && h.TieBreak != nil {
+				h.TieBreak(&job, ci, bestChain)
+			}
+			best, bestKey, bestChain = pl, key, ci
 		}
 		if s.opts.TieBreak == TieBreakFirstFit {
 			break
+		}
+	}
+	if best == nil {
+		s.stat.PlanFailures++
+		if h != nil && h.PlanFailure != nil {
+			h.PlanFailure(&job)
 		}
 	}
 	return best, best != nil
@@ -145,6 +183,9 @@ func (s *Scheduler) Commit(job Job, pl *Placement) error {
 			s.stat.TunableChosen = append(s.stat.TunableChosen, 0)
 		}
 		s.stat.TunableChosen[pl.Chain]++
+	}
+	if h := s.opts.Hooks; h != nil && h.Committed != nil {
+		h.Committed(&job, pl)
 	}
 	return nil
 }
@@ -270,8 +311,10 @@ func (s *Scheduler) earliestFit(procs int, duration, est, deadline float64) (flo
 }
 
 // earliestFitOn is earliestFit against an explicit profile (used for
-// tentative DAG planning on a scratch copy).
+// tentative DAG planning on a scratch copy).  Every call is one placement
+// probe of the processor-time plane, counted in Stats.HolesProbed.
 func (s *Scheduler) earliestFitOn(p *Profile, procs int, duration, est, deadline float64) (float64, bool) {
+	s.stat.HolesProbed++
 	if s.opts.Engine == EngineHoles {
 		return p.EarliestFitHoles(procs, duration, est, deadline)
 	}

@@ -1,0 +1,33 @@
+package core
+
+// Hooks observes the scheduler's admission pipeline.  Every field is
+// optional; a nil Hooks pointer (the default) or a nil field disables that
+// hook with a single pointer comparison, so unobserved schedulers pay no
+// instrumentation cost.  The hooks fire synchronously on the scheduling
+// path and must be cheap; heavier processing belongs behind a trace sink
+// (see internal/obs, which provides a ready-made adapter).
+//
+// The scheduler is not safe for concurrent use, so hook implementations
+// need no internal ordering with respect to one admission; implementations
+// shared across schedulers (one Observer feeding many runs) must be safe
+// for concurrent use.
+type Hooks struct {
+	// AdmitStart fires when admission control starts evaluating a job.
+	AdmitStart func(job *Job)
+	// ChainTried fires after each execution path's feasibility check with
+	// the outcome; finish is the chain's completion time when ok.
+	ChainTried func(job *Job, chain int, ok bool, finish float64)
+	// HolesProbed fires after each chain placement attempt with the number
+	// of placement probes (maximal-hole or profile-segment queries) the
+	// attempt issued.
+	HolesProbed func(job *Job, chain, probes int)
+	// TieBreak fires when a later chain displaces the incumbent best under
+	// the configured tie-break policy.
+	TieBreak func(job *Job, winner, over int)
+	// Committed fires when a job's reservation is committed.
+	Committed func(job *Job, pl *Placement)
+	// Rejected fires when admission control rejects a job.
+	Rejected func(job *Job, reason string)
+	// PlanFailure fires when no execution path of a job is schedulable.
+	PlanFailure func(job *Job)
+}

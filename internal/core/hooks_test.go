@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+)
+
+// twoChainJob offers a wide-fast chain and a narrow-slow chain.
+func twoChainJob(id int, release float64) Job {
+	return Job{ID: id, Release: release, Chains: []Chain{
+		{Name: "wide", Quality: 1, Tasks: []Task{
+			{Name: "t", Procs: 4, Duration: 10, Deadline: release + 40},
+		}},
+		{Name: "narrow", Quality: 0.5, Tasks: []Task{
+			{Name: "t", Procs: 1, Duration: 30, Deadline: release + 40},
+		}},
+	}}
+}
+
+func TestStatsProbeAndChainCounters(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	if _, err := s.Admit(twoChainJob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ChainsTried != 2 {
+		t.Fatalf("ChainsTried = %d, want 2", st.ChainsTried)
+	}
+	if st.HolesProbed < 2 { // at least one probe per chain
+		t.Fatalf("HolesProbed = %d, want >= 2", st.HolesProbed)
+	}
+	if st.PlanFailures != 0 {
+		t.Fatalf("PlanFailures = %d, want 0", st.PlanFailures)
+	}
+
+	// Saturate, then fail a rigid urgent job: counters keep growing.
+	if _, err := s.Admit(Job{ID: 2, Chains: []Chain{
+		{Quality: 1, Tasks: []Task{{Procs: 4, Duration: 100, Deadline: 110}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(Job{ID: 3, Chains: []Chain{
+		{Quality: 1, Tasks: []Task{{Procs: 4, Duration: 5, Deadline: 20}}},
+	}}); err == nil {
+		t.Fatal("infeasible job admitted")
+	}
+	st = s.Stats()
+	if st.ChainsTried != 4 {
+		t.Fatalf("ChainsTried = %d, want 4", st.ChainsTried)
+	}
+	if st.PlanFailures != 1 {
+		t.Fatalf("PlanFailures = %d, want 1", st.PlanFailures)
+	}
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestStatsCountersEngineParity(t *testing.T) {
+	// Both placement engines count probes at the same choke point, so the
+	// per-chain bookkeeping must agree on ChainsTried (probe totals differ
+	// because the engines enumerate different candidate sets).
+	for _, engine := range []PlacementEngine{EngineProfile, EngineHoles} {
+		s := NewScheduler(8, 0, &Options{Engine: engine})
+		for i := 0; i < 6; i++ {
+			s.Admit(twoChainJob(i, float64(i)*2))
+		}
+		st := s.Stats()
+		if st.ChainsTried != 12 {
+			t.Fatalf("engine %v: ChainsTried = %d, want 12", engine, st.ChainsTried)
+		}
+		if st.HolesProbed < st.ChainsTried {
+			t.Fatalf("engine %v: HolesProbed = %d < ChainsTried = %d", engine, st.HolesProbed, st.ChainsTried)
+		}
+	}
+}
+
+// recordedEvent is one hook callback captured by the recording hooks.
+type recordedEvent struct {
+	kind   string
+	job    int
+	chain  int
+	ok     bool
+	reason string
+}
+
+func recordingHooks(log *[]recordedEvent) *Hooks {
+	return &Hooks{
+		AdmitStart: func(job *Job) {
+			*log = append(*log, recordedEvent{kind: "start", job: job.ID})
+		},
+		ChainTried: func(job *Job, chain int, ok bool, finish float64) {
+			*log = append(*log, recordedEvent{kind: "chain", job: job.ID, chain: chain, ok: ok})
+		},
+		HolesProbed: func(job *Job, chain, probes int) {
+			*log = append(*log, recordedEvent{kind: "probes", job: job.ID, chain: chain, ok: probes > 0})
+		},
+		TieBreak: func(job *Job, winner, over int) {
+			*log = append(*log, recordedEvent{kind: "tiebreak", job: job.ID, chain: winner})
+		},
+		Committed: func(job *Job, pl *Placement) {
+			*log = append(*log, recordedEvent{kind: "committed", job: job.ID, chain: pl.Chain})
+		},
+		Rejected: func(job *Job, reason string) {
+			*log = append(*log, recordedEvent{kind: "rejected", job: job.ID, reason: reason})
+		},
+		PlanFailure: func(job *Job) {
+			*log = append(*log, recordedEvent{kind: "planfail", job: job.ID})
+		},
+	}
+}
+
+func TestHooksFireInAdmissionOrder(t *testing.T) {
+	var log []recordedEvent
+	s := NewScheduler(4, 0, &Options{Hooks: recordingHooks(&log)})
+	if _, err := s.Admit(twoChainJob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: start, then per-chain (probes, chain), then committed.
+	if len(log) < 4 {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[0].kind != "start" || log[0].job != 1 {
+		t.Fatalf("first event = %+v, want start", log[0])
+	}
+	last := log[len(log)-1]
+	if last.kind != "committed" || last.job != 1 {
+		t.Fatalf("last event = %+v, want committed", last)
+	}
+	var chainEvents, probeEvents int
+	for _, ev := range log {
+		switch ev.kind {
+		case "chain":
+			chainEvents++
+		case "probes":
+			probeEvents++
+		}
+	}
+	if chainEvents != 2 || probeEvents != 2 {
+		t.Fatalf("chain/probe events = %d/%d, want 2/2: %+v", chainEvents, probeEvents, log)
+	}
+}
+
+func TestHooksTieBreakFires(t *testing.T) {
+	var log []recordedEvent
+	s := NewScheduler(4, 0, &Options{Hooks: recordingHooks(&log)})
+	// Order the chains so the second one wins the tie-break: the narrow
+	// chain first (finishes at 30), the wide chain second (finishes at 10
+	// with equal quality, displacing the incumbent).
+	job := Job{ID: 1, Chains: []Chain{
+		{Name: "narrow", Quality: 1, Tasks: []Task{{Procs: 1, Duration: 30, Deadline: 40}}},
+		{Name: "wide", Quality: 1, Tasks: []Task{{Procs: 4, Duration: 10, Deadline: 40}}},
+	}}
+	pl, err := s.Admit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chain != 1 {
+		t.Fatalf("chosen chain = %d, want 1 (wide)", pl.Chain)
+	}
+	var sawTieBreak bool
+	for _, ev := range log {
+		if ev.kind == "tiebreak" && ev.chain == 1 {
+			sawTieBreak = true
+		}
+	}
+	if !sawTieBreak {
+		t.Fatalf("no tie-break recorded: %+v", log)
+	}
+}
+
+func TestHooksRejectionPath(t *testing.T) {
+	var log []recordedEvent
+	s := NewScheduler(2, 0, &Options{Hooks: recordingHooks(&log)})
+	if _, err := s.Admit(Job{ID: 9, Chains: []Chain{
+		{Quality: 1, Tasks: []Task{{Procs: 2, Duration: 10, Deadline: 5}}}, // impossible deadline
+	}}); err == nil {
+		t.Fatal("impossible job admitted")
+	}
+	var sawFail, sawReject bool
+	for _, ev := range log {
+		switch ev.kind {
+		case "planfail":
+			sawFail = true
+		case "rejected":
+			sawReject = true
+			if ev.reason == "" {
+				t.Fatal("rejection without a reason")
+			}
+		}
+	}
+	if !sawFail || !sawReject {
+		t.Fatalf("planfail/rejected = %v/%v: %+v", sawFail, sawReject, log)
+	}
+}
+
+func TestNilHooksAreSafe(t *testing.T) {
+	// Options with a Hooks struct whose fields are nil: every call site
+	// must nil-check the individual funcs.
+	s := NewScheduler(4, 0, &Options{Hooks: &Hooks{}})
+	if _, err := s.Admit(twoChainJob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(Job{ID: 2, Chains: []Chain{
+		{Quality: 1, Tasks: []Task{{Procs: 4, Duration: 5, Deadline: 1}}},
+	}}); err == nil {
+		t.Fatal("impossible job admitted")
+	}
+}

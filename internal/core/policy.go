@@ -85,6 +85,10 @@ type Options struct {
 	// BacktrackBudget bounds the total number of per-task placement
 	// attempts when ChainPlacer is PlaceBacktrack.  Zero means 64.
 	BacktrackBudget int
+	// Hooks, if non-nil, observes the admission pipeline (see Hooks).
+	// Because Hooks travels inside Options it survives scheduler rebuilds
+	// (e.g. the dynamic arbitrator's capacity renegotiations).
+	Hooks *Hooks
 }
 
 func (o Options) backtrackBudget() int {

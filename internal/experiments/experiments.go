@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"milan/internal/core"
+	"milan/internal/obs"
 	"milan/internal/qos"
 	"milan/internal/sim"
 	"milan/internal/workload"
@@ -30,6 +31,12 @@ type Config struct {
 	// ArrivalFactory, if set, overrides the Poisson arrival process (the
 	// mean interarrival still describes the intended load for reporting).
 	ArrivalFactory func(seed int64) workload.Arrivals
+	// Obs, if set, observes every run driven by this configuration: the
+	// scheduler's admission pipeline (via core hook adapters), the
+	// arbitrator's decision stream and the sim engine's fired events.
+	// While a run executes, the observer's clock follows the simulation
+	// clock.  nil (the default) costs nothing.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the baseline configuration: M = 32 processors,
@@ -88,7 +95,11 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	arb, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: cfg.Procs, Options: cfg.Opts})
+	arbCfg := qos.ArbitratorConfig{Procs: cfg.Procs, Options: cfg.Opts}
+	if cfg.Obs != nil {
+		arbCfg = cfg.Obs.InstrumentArbitratorConfig(arbCfg)
+	}
+	arb, err := qos.NewArbitrator(arbCfg)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -101,6 +112,11 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	}
 	res := RunResult{System: sys}
 	var engine sim.Engine
+	if cfg.Obs != nil {
+		engine.OnEvent = cfg.Obs.BindEngine(&engine)
+		cfg.Obs.SetCapacity(cfg.Procs)
+		defer cfg.Obs.SetClock(nil) // back to wall time after the run
+	}
 	var lastFinish, lastRelease float64
 	var slackSum float64
 

@@ -93,3 +93,57 @@ func TestPlotFixedYRangeClamps(t *testing.T) {
 		t.Errorf("clamped point missing from top row: %q", top)
 	}
 }
+
+func TestPlotSymbolCyclingPastMarkSet(t *testing.T) {
+	// Eight overlaid series exceed the six plot symbols: the seventh and
+	// eighth wrap around to the first two marks.
+	var series []*Series
+	for i := 0; i < 8; i++ {
+		series = append(series, lineSeries(
+			string(rune('a'+i)),
+			[2]float64{0, float64(i)},
+			[2]float64{10, float64(i) + 1},
+		))
+	}
+	var sb strings.Builder
+	if err := Plot(&sb, "cycling", series, PlotOptions{Width: 30, Height: 12}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Every series appears in the legend with its (possibly reused) mark.
+	for i, want := range []string{"* a", "o b", "+ c", "x d", "# e", "@ f", "* g", "o h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend entry %d missing %q:\n%s", i, want, out)
+		}
+	}
+}
+
+func TestPlotSinglePointSeriesDegenerateRanges(t *testing.T) {
+	// All series share one x and one y: both axes have zero span and must
+	// be widened rather than divided by.
+	a := lineSeries("a", [2]float64{2, 7})
+	b := lineSeries("b", [2]float64{2, 7})
+	var sb strings.Builder
+	if err := Plot(&sb, "flat", []*Series{a, b}, PlotOptions{Width: 12, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*") && !strings.Contains(out, "o") {
+		t.Fatalf("no marks drawn:\n%s", out)
+	}
+	for _, r := range out {
+		if r == 'N' { // NaN leaking into axis labels
+			t.Fatalf("NaN in output:\n%s", out)
+		}
+	}
+	// A single-point series overlaid on a long line keeps its own mark.
+	long := lineSeries("long", [2]float64{0, 0}, [2]float64{100, 10})
+	pt := lineSeries("pt", [2]float64{50, 5})
+	sb.Reset()
+	if err := Plot(&sb, "", []*Series{long, pt}, PlotOptions{Width: 20, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "o pt") {
+		t.Fatalf("single-point series missing from legend:\n%s", sb.String())
+	}
+}

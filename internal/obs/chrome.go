@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"milan/internal/core"
+)
+
+// Process IDs used in exported Chrome traces: the committed schedule
+// (threads = processors), the Calypso runtime (threads = workers) and the
+// instantaneous decision events.
+const (
+	PIDSchedule = 1
+	PIDCalypso  = 2
+	PIDEvents   = 3
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing and https://ui.perfetto.dev load arrays of these).
+// Ts and Dur are microseconds; Ph is the phase ("X" complete span, "i"
+// instant, "M" metadata).
+type ChromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Ph    string                 `json:"ph"`
+	Ts    float64                `json:"ts"`
+	Dur   float64                `json:"dur,omitempty"`
+	Pid   int                    `json:"pid"`
+	Tid   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object envelope of a trace file.
+type chromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// Span is a generic duration span destined for the Chrome trace (Start and
+// Dur in seconds of observer time, converted to microseconds on export).
+type Span struct {
+	PID   int
+	TID   int
+	Name  string
+	Cat   string
+	Start float64 // seconds
+	Dur   float64 // seconds
+	Args  map[string]float64
+}
+
+// AddSpan records a span for later Chrome-trace export.
+func (o *Observer) AddSpan(s Span) {
+	o.mu.Lock()
+	o.spans = append(o.spans, s)
+	o.mu.Unlock()
+}
+
+// Spans returns the recorded spans.
+func (o *Observer) Spans() []Span {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Span(nil), o.spans...)
+}
+
+// ChromeTrace accumulates trace events for export.
+type ChromeTrace struct {
+	Events []ChromeEvent
+}
+
+// NewChromeTrace returns an empty trace.
+func NewChromeTrace() *ChromeTrace { return &ChromeTrace{} }
+
+// Add appends a raw event.
+func (c *ChromeTrace) Add(ev ChromeEvent) { c.Events = append(c.Events, ev) }
+
+// meta appends a metadata record (process_name / thread_name).
+func (c *ChromeTrace) meta(kind string, pid, tid int, name string) {
+	c.Add(ChromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name}})
+}
+
+// AddSchedule renders a committed placement set as one span per
+// (processor, task) rectangle: the interactive chrome://tracing upgrade of
+// core.RenderGantt.  One simulation time unit maps to one microsecond.
+// capacity <= 0 infers the peak processor demand of the placements; a
+// capacity below the actual peak (e.g. placements pooled from several
+// back-to-back runs over the same simulated interval) is widened to the
+// peak so the export always succeeds.
+func (c *ChromeTrace) AddSchedule(capacity int, pls []*core.Placement) error {
+	if len(pls) == 0 {
+		return nil
+	}
+	if peak := PeakDemand(pls); capacity < peak {
+		capacity = peak
+	}
+	asn, err := core.AssignProcessors(capacity, pls)
+	if err != nil {
+		return fmt.Errorf("obs: chrome schedule: %w", err)
+	}
+	c.meta("process_name", PIDSchedule, 0, "schedule")
+	for p := 0; p < capacity; p++ {
+		c.meta("thread_name", PIDSchedule, p, fmt.Sprintf("cpu%d", p))
+	}
+	for _, a := range asn {
+		for _, proc := range a.Procs {
+			c.Add(ChromeEvent{
+				Name: fmt.Sprintf("job%d/t%d", a.JobID, a.Task),
+				Cat:  "schedule",
+				Ph:   "X",
+				Ts:   a.Start * 1e6,
+				Dur:  (a.Finish - a.Start) * 1e6,
+				Pid:  PIDSchedule,
+				Tid:  proc,
+				Args: map[string]interface{}{"job": a.JobID, "task": a.Task},
+			})
+		}
+	}
+	return nil
+}
+
+// AddSpans appends generic spans (seconds -> microseconds).
+func (c *ChromeTrace) AddSpans(spans []Span, threadName func(pid, tid int) string) {
+	named := make(map[[2]int]bool)
+	for _, s := range spans {
+		key := [2]int{s.PID, s.TID}
+		if threadName != nil && !named[key] {
+			named[key] = true
+			c.meta("thread_name", s.PID, s.TID, threadName(s.PID, s.TID))
+		}
+		args := make(map[string]interface{}, len(s.Args))
+		for k, v := range s.Args {
+			args[k] = v
+		}
+		c.Add(ChromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: s.Start * 1e6, Dur: s.Dur * 1e6,
+			Pid: s.PID, Tid: s.TID, Args: args,
+		})
+	}
+}
+
+// AddTraceEvents appends structured trace events as instants on the
+// decision-event process (event time units -> microseconds).
+func (c *ChromeTrace) AddTraceEvents(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	c.meta("process_name", PIDEvents, 0, "decisions")
+	for _, ev := range evs {
+		args := map[string]interface{}{}
+		if ev.Job != 0 || ev.Type == EvAdmitStart || ev.Type == EvCommitted || ev.Type == EvRejected {
+			args["job"] = ev.Job
+		}
+		if ev.Reason != "" {
+			args["reason"] = ev.Reason
+		}
+		if ev.Name != "" {
+			args["event"] = ev.Name
+		}
+		for k, v := range ev.Attrs {
+			args[k] = v
+		}
+		c.Add(ChromeEvent{
+			Name: string(ev.Type), Cat: "trace", Ph: "i",
+			Ts: ev.Time * 1e6, Pid: PIDEvents, Tid: 0, Scope: "t",
+			Args: args,
+		})
+	}
+}
+
+// WriteTo writes the trace as a chrome://tracing-loadable JSON object,
+// events sorted by timestamp (metadata first).
+func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	evs := append([]ChromeEvent(nil), c.Events...)
+	sort.SliceStable(evs, func(a, b int) bool {
+		ma, mb := evs[a].Ph == "M", evs[b].Ph == "M"
+		if ma != mb {
+			return ma
+		}
+		return evs[a].Ts < evs[b].Ts
+	})
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", " ")
+	err := enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return cw.n, err
+}
+
+// ParseChromeTrace reads a trace file back (the round-trip of WriteTo),
+// accepting both the object envelope and a bare event array.
+func ParseChromeTrace(r io.Reader) ([]ChromeEvent, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(raw, &file); err == nil && file.TraceEvents != nil {
+		return file.TraceEvents, nil
+	}
+	var evs []ChromeEvent
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	return evs, nil
+}
+
+// PeakDemand returns the maximum concurrent processor demand of the
+// placements (a lower bound on the machine size that admitted them).
+func PeakDemand(pls []*core.Placement) int {
+	type edge struct {
+		t float64
+		d int
+	}
+	var edges []edge
+	for _, pl := range pls {
+		for _, tp := range pl.Tasks {
+			if tp.Finish <= tp.Start {
+				continue
+			}
+			edges = append(edges, edge{tp.Start, tp.Procs}, edge{tp.Finish, -tp.Procs})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].t != edges[b].t {
+			return edges[a].t < edges[b].t
+		}
+		return edges[a].d < edges[b].d // releases before claims at the same instant
+	})
+	peak, cur := 0, 0
+	for _, e := range edges {
+		cur += e.d
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// WriteChromeTrace renders everything the observer has collected — the
+// committed schedule (when placements were retained), the Calypso worker
+// spans and the recent decision events — as one Chrome trace.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	o.mu.Lock()
+	capacity := o.capacity
+	pls := append([]*core.Placement(nil), o.placements...)
+	spans := append([]Span(nil), o.spans...)
+	o.mu.Unlock()
+
+	ct := NewChromeTrace()
+	if err := ct.AddSchedule(capacity, pls); err != nil {
+		return err
+	}
+	if len(spans) > 0 {
+		ct.meta("process_name", PIDCalypso, 0, "calypso")
+		ct.AddSpans(spans, func(pid, tid int) string {
+			return fmt.Sprintf("worker%d", tid)
+		})
+	}
+	ct.AddTraceEvents(o.Events())
+	_, err := ct.WriteTo(w)
+	return err
+}
+
+// countingWriter counts bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

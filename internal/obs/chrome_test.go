@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"milan/internal/core"
+)
+
+func testPlacements() []*core.Placement {
+	return []*core.Placement{
+		{JobID: 1, Chain: 0, Tasks: []core.TaskPlacement{
+			{Task: 0, Start: 0, Finish: 5, Procs: 2},
+			{Task: 1, Start: 5, Finish: 8, Procs: 1},
+		}},
+		{JobID: 2, Chain: 1, Tasks: []core.TaskPlacement{
+			{Task: 0, Start: 0, Finish: 4, Procs: 2},
+		}},
+	}
+}
+
+func TestPeakDemand(t *testing.T) {
+	if got := PeakDemand(testPlacements()); got != 4 {
+		t.Fatalf("peak = %d, want 4", got)
+	}
+	if got := PeakDemand(nil); got != 0 {
+		t.Fatalf("peak of nothing = %d, want 0", got)
+	}
+	// Back-to-back tasks on the boundary must not double-count.
+	seq := []*core.Placement{{JobID: 1, Tasks: []core.TaskPlacement{
+		{Task: 0, Start: 0, Finish: 2, Procs: 3},
+		{Task: 1, Start: 2, Finish: 4, Procs: 3},
+	}}}
+	if got := PeakDemand(seq); got != 3 {
+		t.Fatalf("sequential peak = %d, want 3", got)
+	}
+}
+
+func TestChromeTraceScheduleRoundTrip(t *testing.T) {
+	ct := NewChromeTrace()
+	if err := ct.AddSchedule(0, testPlacements()); err != nil { // 0 => infer capacity
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, meta int
+	var sawJob1 bool
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Pid != PIDSchedule {
+				t.Fatalf("span pid = %d, want %d", ev.Pid, PIDSchedule)
+			}
+			if ev.Name == "job1/t0" {
+				sawJob1 = true
+				if ev.Ts != 0 || ev.Dur != 5e6 {
+					t.Fatalf("job1/t0 ts/dur = %v/%v, want 0/5e6", ev.Ts, ev.Dur)
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	// job1/t0 on 2 procs + job1/t1 on 1 + job2/t0 on 2 = 5 rectangles.
+	if spans != 5 {
+		t.Fatalf("spans = %d, want 5", spans)
+	}
+	if !sawJob1 {
+		t.Fatal("job1/t0 span missing")
+	}
+	// process_name + one thread_name per inferred processor (peak = 4).
+	if meta != 5 {
+		t.Fatalf("metadata records = %d, want 5", meta)
+	}
+}
+
+func TestChromeTraceMetadataSortsFirst(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.Add(ChromeEvent{Name: "early", Ph: "X", Ts: 0, Dur: 1, Pid: 1, Tid: 0})
+	ct.meta("process_name", 1, 0, "p")
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Ph != "M" {
+		t.Fatalf("first event ph = %q, want M", evs[0].Ph)
+	}
+}
+
+func TestAddSpansAndTraceEvents(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.AddSpans([]Span{
+		{PID: PIDCalypso, TID: 2, Name: "task", Cat: "calypso", Start: 1, Dur: 0.5,
+			Args: map[string]float64{"step": 3}},
+	}, func(pid, tid int) string { return "workerX" })
+	ct.AddTraceEvents([]Event{
+		{Time: 2, Type: EvCommitted, Job: 7, Attrs: map[string]float64{"area": 10}},
+		{Time: 3, Type: EvRejected, Job: 8, Reason: "no-feasible-chain"},
+	})
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"workerX", `"Committed"`, `"Rejected"`, "no-feasible-chain", `"s": "t"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	evs, err := ParseChromeTrace(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instants int
+	for _, ev := range evs {
+		if ev.Ph == "i" {
+			instants++
+			if ev.Pid != PIDEvents {
+				t.Fatalf("instant pid = %d, want %d", ev.Pid, PIDEvents)
+			}
+		}
+	}
+	if instants != 2 {
+		t.Fatalf("instants = %d, want 2", instants)
+	}
+}
+
+func TestParseChromeTraceBareArray(t *testing.T) {
+	evs, err := ParseChromeTrace(strings.NewReader(`[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if _, err := ParseChromeTrace(strings.NewReader("nonsense")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestObserverWriteChromeTrace(t *testing.T) {
+	o := New(Config{KeepPlacements: true, Capacity: 4})
+	// Simulate what the scheduler hooks would retain.
+	o.mu.Lock()
+	o.placements = testPlacements()
+	o.mu.Unlock()
+	o.AddSpan(Span{PID: PIDCalypso, TID: 0, Name: "task", Cat: "calypso", Start: 0, Dur: 0.1})
+	o.Emit(Event{Time: 1, Type: EvCommitted, Job: 1})
+
+	var buf bytes.Buffer
+	if err := o.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range evs {
+		pids[ev.Pid] = true
+	}
+	for _, pid := range []int{PIDSchedule, PIDCalypso, PIDEvents} {
+		if !pids[pid] {
+			t.Fatalf("trace missing process %d (pids=%v)", pid, pids)
+		}
+	}
+}

@@ -38,6 +38,10 @@ type DynamicArbitrator struct {
 	OnRenegotiated func(jobID int, g *Grant)
 	// OnAborted is called for every job evicted by a capacity change.
 	OnAborted func(jobID int)
+	// Observer, if set, is called synchronously with every admission
+	// decision (the dynamic counterpart of ArbitratorConfig.Observer);
+	// retried waiting jobs produce a fresh decision on success.
+	Observer func(Decision)
 }
 
 // flight is one admitted, unfinished job.
@@ -107,6 +111,9 @@ func (d *DynamicArbitrator) negotiateLocked(job core.Job) (*Grant, error) {
 	if err != nil {
 		if errors.Is(err, core.ErrRejected) {
 			d.stats.Rejected++
+			if d.Observer != nil {
+				d.Observer(Decision{Job: job, Rejected: true, Now: d.now})
+			}
 			return nil, ErrRejected
 		}
 		return nil, err
@@ -115,6 +122,9 @@ func (d *DynamicArbitrator) negotiateLocked(job core.Job) (*Grant, error) {
 	d.active[job.ID] = &flight{job: job, grant: g}
 	d.order = append(d.order, job.ID)
 	d.stats.Admitted++
+	if d.Observer != nil {
+		d.Observer(Decision{Job: job, Grant: g, Now: d.now})
+	}
 	return g, nil
 }
 

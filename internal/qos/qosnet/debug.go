@@ -1,0 +1,53 @@
+package qosnet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"milan/internal/obs"
+)
+
+// EnableDebug starts an HTTP debug server on addr (e.g. "127.0.0.1:0")
+// exposing the observer's /metrics, /trace and /gantt endpoints alongside
+// the gob negotiation protocol.  The debug server is shut down by Close.
+// It returns the bound address.
+//
+// The observer is expected to already be wired into the arbitrator this
+// server fronts (obs.Observer.InstrumentArbitratorConfig or
+// InstrumentOptions + InstrumentDynamic); EnableDebug only publishes it.
+func (s *Server) EnableDebug(o *obs.Observer, addr string) (net.Addr, error) {
+	if o == nil {
+		return nil, fmt.Errorf("qosnet: debug server needs an observer")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("qosnet: server closed")
+	}
+	if s.debugLn != nil {
+		return nil, fmt.Errorf("qosnet: debug server already enabled on %s", s.debugLn.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qosnet: debug listen %s: %w", addr, err)
+	}
+	s.debugLn = ln
+	s.debug = &http.Server{Handler: o.Handler()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.debug.Serve(ln) // returns on Close
+	}()
+	return ln.Addr(), nil
+}
+
+// DebugAddr returns the debug server's address, or nil when disabled.
+func (s *Server) DebugAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.debugLn == nil {
+		return nil
+	}
+	return s.debugLn.Addr()
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 
 	"milan/internal/core"
@@ -61,10 +62,12 @@ type Server struct {
 	dyn *qos.DynamicArbitrator
 	ln  net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	debug   *http.Server // optional observability endpoint (EnableDebug)
+	debugLn net.Listener
 }
 
 // Serve starts serving the arbitrator on ln and returns immediately.
@@ -107,11 +110,17 @@ func ListenAndServeDynamic(dyn *qos.DynamicArbitrator, addr string) (*Server, er
 // Addr returns the server's listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting, closes all connections and waits for handlers.
+// Close stops accepting, closes all connections (and the debug endpoint,
+// when enabled) and waits for handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	err := s.ln.Close()
+	if s.debug != nil {
+		s.debug.Close()
+		s.debug = nil
+		s.debugLn = nil
+	}
 	for c := range s.conns {
 		c.Close()
 	}

@@ -36,6 +36,12 @@ type Engine struct {
 
 	// Processed counts events fired since creation.
 	Processed int
+
+	// OnEvent, if non-nil, observes every fired event just before its
+	// callback runs, with the event's name and time.  The nil default
+	// costs a single pointer comparison per event (the observability
+	// layer's zero-cost contract; see internal/obs).
+	OnEvent func(name string, t float64)
 }
 
 // Now returns the current simulation time.
@@ -93,6 +99,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.Time
 		e.Processed++
+		if e.OnEvent != nil {
+			e.OnEvent(ev.Name, ev.Time)
+		}
 		ev.fn()
 		return true
 	}

@@ -28,6 +28,7 @@ package milan
 
 import (
 	"milan/internal/core"
+	"milan/internal/obs"
 	"milan/internal/qos"
 	"milan/internal/taskgraph"
 	"milan/internal/tunelang"
@@ -195,3 +196,38 @@ type (
 func NewVectorScheduler(vc VectorCapacity, origin float64) (*VectorScheduler, error) {
 	return core.NewVectorScheduler(vc, origin)
 }
+
+// Observability layer: metrics registry, structured decision tracing and
+// chrome://tracing export (internal/obs).
+type (
+	// Observer ties metrics and trace sinks together and adapts them to
+	// the hook points of the scheduler, arbitrators, runtime and sim.
+	Observer = obs.Observer
+	// ObserverConfig configures NewObserver.
+	ObserverConfig = obs.Config
+	// Registry is a named collection of atomic metrics.
+	Registry = obs.Registry
+	// RegistrySnapshot is a point-in-time registry state.
+	RegistrySnapshot = obs.Snapshot
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// TraceEventType names a trace event.
+	TraceEventType = obs.EventType
+	// TraceSink receives structured trace events.
+	TraceSink = obs.TraceSink
+	// RingSink retains the most recent trace events.
+	RingSink = obs.RingSink
+	// JSONLSink streams trace events as JSON lines.
+	JSONLSink = obs.JSONLSink
+	// SchedulerHooks instruments the admission pipeline (core.Options.Hooks).
+	SchedulerHooks = core.Hooks
+)
+
+// NewObserver returns an observer with the given configuration.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewRingSink returns a trace ring buffer holding up to n events.
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
