@@ -58,7 +58,11 @@ func NewScheduler(procs int, origin float64, opts *Options) *Scheduler {
 	if opts != nil {
 		o = *opts
 	}
-	return &Scheduler{prof: NewProfile(procs, origin), opts: o}
+	prof := NewProfile(procs, origin)
+	if o.ProfileIndex != ProfileIndexOff {
+		prof.EnableIndex()
+	}
+	return &Scheduler{prof: prof, opts: o}
 }
 
 // Procs returns the machine size.
@@ -74,6 +78,10 @@ func (s *Scheduler) Stats() Stats {
 	st.TunableChosen = append([]int(nil), s.stat.TunableChosen...)
 	return st
 }
+
+// IndexStats returns the capacity profile's segment-tree work counters
+// (zero value when Options.ProfileIndex is off).
+func (s *Scheduler) IndexStats() IndexStats { return s.prof.IndexStats() }
 
 // Observe informs the scheduler that simulated time has advanced to now,
 // letting it fold fully elapsed reservations into its utilization

@@ -30,8 +30,18 @@ func (h Hole) Contains(g Hole) bool {
 // The enumeration is the histogram-of-availability "all maximal rectangles"
 // computation: for every segment, the rectangle of that segment's
 // availability extended left and right while availability stays at least as
-// large, deduplicated.
+// large, deduplicated.  With a segment-tree index attached the extensions
+// are tree descents (O(n log n) total); the linear path below is the
+// reference oracle.
 func (p *Profile) MaximalHoles(from float64) []Hole {
+	if p.idx != nil {
+		return p.maximalHolesIndexed(from)
+	}
+	return p.maximalHolesLinear(from)
+}
+
+// maximalHolesLinear is the reference O(n^2) enumeration.
+func (p *Profile) maximalHolesLinear(from float64) []Hole {
 	from = maxTime(from, p.times[0])
 	lo := p.seg(from)
 	n := len(p.times)

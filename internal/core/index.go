@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the indexed processor-time profile: a lazily rebuilt
+// segment tree over the piecewise-constant availability function of a
+// Profile.  The tree stores, per node, the minimum and maximum availability
+// over its span of profile segments, which turns the scheduler's three probe
+// primitives into tree walks:
+//
+//	MinAvailOn    — one range-min query, O(log n)
+//	EarliestFit   — "first segment >= i with avail >= k" (max-descent) and
+//	                "first segment >= i with avail < k" (min-descent),
+//	                O(log n) per blocked stretch skipped instead of O(1) per
+//	                segment scanned
+//	MaximalHoles  — left/right extension of each candidate rectangle by
+//	                backward/forward descents, O(n log n) total instead of
+//	                O(n^2)
+//
+// Invalidation is incremental where possible: a Reserve that introduces no
+// new breakpoints updates only the affected leaves; any structural change
+// (breakpoint insertion via ensureBreak, or a TrimBefore fold) marks the
+// index dirty and the next query rebuilds it in O(n).  This matches the
+// scheduler's access pattern — Plan issues many probes per arrival, Commit
+// issues a handful of reservations — so the rebuild cost amortizes across
+// the probe burst.
+//
+// Every indexed query is written to be *exactly* equivalent to the linear
+// reference implementation, including the Eps-tolerant boundary predicates
+// (the same timeLeq/seg expressions are used on both paths), so that the
+// differential oracle harness can assert bitwise-equal answers.
+
+// IndexStats reports the work done by a profile's segment-tree index.
+// Counters are cumulative since EnableIndex (clones start fresh).
+type IndexStats struct {
+	// Enabled reports whether the profile carries an index at all.
+	Enabled bool
+	// Rebuilds counts full O(n) tree rebuilds (after structural changes).
+	Rebuilds int64
+	// LeafUpdates counts incremental leaf refreshes (reservations that
+	// introduced no new breakpoints).
+	LeafUpdates int64
+	// Descents counts tree walks (first-below / first-at-least /
+	// last-below searches).
+	Descents int64
+	// DescentSteps counts nodes visited across all descents; divided by
+	// Descents it is the mean probe depth.
+	DescentSteps int64
+	// RangeQueries counts range-min queries.
+	RangeQueries int64
+}
+
+// profIndex is the segment tree.  Nodes are stored 1-based in flat arrays of
+// length 2*size, with leaves at [size, size+n); padding leaves beyond n hold
+// full availability (the final profile segment is always idle, so a padded
+// leaf can never win a search that a real leaf would not).
+type profIndex struct {
+	size  int // leaf capacity, a power of two >= n
+	n     int // live leaves (= number of profile segments at build time)
+	minA  []int
+	maxA  []int
+	dirty bool
+	stats IndexStats
+}
+
+// EnableIndex attaches a segment-tree index to the profile.  All probe
+// queries (MinAvailOn, EarliestFit, MaximalHoles and the hole-based oracle
+// built on them) are answered through the index from then on; results are
+// identical to the linear path.  Enabling twice is a no-op.
+func (p *Profile) EnableIndex() {
+	if p.idx == nil {
+		p.idx = &profIndex{dirty: true}
+		p.idx.stats.Enabled = true
+	}
+}
+
+// IndexEnabled reports whether the profile carries a segment-tree index.
+func (p *Profile) IndexEnabled() bool { return p.idx != nil }
+
+// IndexStats returns the index's work counters (zero value when no index is
+// attached).
+func (p *Profile) IndexStats() IndexStats {
+	if p.idx == nil {
+		return IndexStats{}
+	}
+	return p.idx.stats
+}
+
+// markStructDirty records a structural change (breakpoint insertion or trim
+// fold); the next indexed query rebuilds the tree.
+func (p *Profile) markStructDirty() {
+	if p.idx != nil {
+		p.idx.dirty = true
+	}
+}
+
+// idxEnsure rebuilds the index if it is stale and returns it.
+func (p *Profile) idxEnsure() *profIndex {
+	x := p.idx
+	if x.dirty || x.n != len(p.used) {
+		x.rebuild(p)
+	}
+	return x
+}
+
+// rebuild reconstructs the tree from the profile in O(n).  The node arrays
+// are reused across rebuilds once grown.
+func (x *profIndex) rebuild(p *Profile) {
+	n := len(p.used)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if len(x.minA) < 2*size {
+		x.minA = make([]int, 2*size)
+		x.maxA = make([]int, 2*size)
+	}
+	x.size = size
+	x.n = n
+	for i := 0; i < n; i++ {
+		v := p.capacity - p.used[i]
+		x.minA[size+i] = v
+		x.maxA[size+i] = v
+	}
+	for i := n; i < size; i++ {
+		x.minA[size+i] = p.capacity
+		x.maxA[size+i] = p.capacity
+	}
+	for i := size - 1; i >= 1; i-- {
+		l, r := 2*i, 2*i+1
+		if x.minA[l] < x.minA[r] {
+			x.minA[i] = x.minA[l]
+		} else {
+			x.minA[i] = x.minA[r]
+		}
+		if x.maxA[l] > x.maxA[r] {
+			x.maxA[i] = x.maxA[l]
+		} else {
+			x.maxA[i] = x.maxA[r]
+		}
+	}
+	x.dirty = false
+	x.stats.Rebuilds++
+}
+
+// leafSet refreshes leaf i to availability v and pulls the change up.
+func (x *profIndex) leafSet(i, v int) {
+	pos := x.size + i
+	x.minA[pos] = v
+	x.maxA[pos] = v
+	for pos >>= 1; pos >= 1; pos >>= 1 {
+		l, r := 2*pos, 2*pos+1
+		mn, mx := x.minA[l], x.maxA[l]
+		if x.minA[r] < mn {
+			mn = x.minA[r]
+		}
+		if x.maxA[r] > mx {
+			mx = x.maxA[r]
+		}
+		if x.minA[pos] == mn && x.maxA[pos] == mx {
+			break
+		}
+		x.minA[pos] = mn
+		x.maxA[pos] = mx
+	}
+	x.stats.LeafUpdates++
+}
+
+// rangeMin returns the minimum availability over leaves [l, r] (inclusive).
+func (x *profIndex) rangeMin(l, r int) int {
+	x.stats.RangeQueries++
+	res := int(^uint(0) >> 1) // max int
+	a, b := x.size+l, x.size+r+1
+	for a < b {
+		if a&1 == 1 {
+			if x.minA[a] < res {
+				res = x.minA[a]
+			}
+			a++
+		}
+		if b&1 == 1 {
+			b--
+			if x.minA[b] < res {
+				res = x.minA[b]
+			}
+		}
+		a >>= 1
+		b >>= 1
+	}
+	return res
+}
+
+// firstBelow returns the smallest leaf index >= from whose availability is
+// strictly below k, or n if none exists among the live leaves.  Padding
+// leaves hold full capacity and therefore never match for k <= capacity.
+func (x *profIndex) firstBelow(from, k int) int {
+	return x.firstMatch(from, func(node int) bool { return x.minA[node] < k }, true)
+}
+
+// firstAtLeast returns the smallest leaf index >= from whose availability is
+// at least k, or n if none exists.  For k <= capacity the final live leaf
+// (the profile's idle tail segment) always matches.
+func (x *profIndex) firstAtLeast(from, k int) int {
+	return x.firstMatch(from, func(node int) bool { return x.maxA[node] >= k }, false)
+}
+
+// firstMatch walks rightward from leaf `from`, merging into parents on
+// alignment, until a subtree satisfying pred is found, then descends to its
+// leftmost satisfying leaf.  useMin selects which array the leaf descent
+// reads (pred must be the corresponding subtree test).
+func (x *profIndex) firstMatch(from int, pred func(node int) bool, useMin bool) int {
+	x.stats.Descents++
+	if from < 0 {
+		from = 0
+	}
+	if from >= x.n {
+		return x.n
+	}
+	pos := x.size + from
+	for {
+		x.stats.DescentSteps++
+		if pred(pos) {
+			for pos < x.size {
+				x.stats.DescentSteps++
+				if pred(2 * pos) {
+					pos = 2 * pos
+				} else {
+					pos = 2*pos + 1
+				}
+			}
+			idx := pos - x.size
+			if idx >= x.n {
+				return x.n
+			}
+			return idx
+		}
+		pos++
+		if pos&(pos-1) == 0 {
+			return x.n // walked off the right edge of the tree
+		}
+		for pos&1 == 0 {
+			pos >>= 1
+		}
+	}
+}
+
+// lastBelow returns the largest leaf index <= upTo whose availability is
+// strictly below k, or -1 if none exists.
+func (x *profIndex) lastBelow(upTo, k int) int {
+	x.stats.Descents++
+	if upTo >= x.n {
+		upTo = x.n - 1
+	}
+	if upTo < 0 {
+		return -1
+	}
+	pos := x.size + upTo
+	for {
+		x.stats.DescentSteps++
+		if x.minA[pos] < k {
+			for pos < x.size {
+				x.stats.DescentSteps++
+				if x.minA[2*pos+1] < k {
+					pos = 2*pos + 1
+				} else {
+					pos = 2 * pos
+				}
+			}
+			return pos - x.size
+		}
+		if pos&(pos-1) == 0 {
+			return -1 // subtree started at leaf 0: nothing to the left
+		}
+		pos--
+		for pos&1 == 1 {
+			pos >>= 1
+		}
+	}
+}
+
+// checkIndex verifies that a clean index agrees with the profile's segment
+// data (used by CheckInvariants and the differential harness).
+func (p *Profile) checkIndex() error {
+	x := p.idx
+	if x == nil || x.dirty || x.n != len(p.used) {
+		return nil // stale index carries no claims
+	}
+	for i, u := range p.used {
+		v := p.capacity - u
+		if x.minA[x.size+i] != v || x.maxA[x.size+i] != v {
+			return fmt.Errorf("core: index leaf %d = (%d,%d), profile avail %d",
+				i, x.minA[x.size+i], x.maxA[x.size+i], v)
+		}
+	}
+	for i := x.size - 1; i >= 1; i-- {
+		l, r := 2*i, 2*i+1
+		mn, mx := x.minA[l], x.maxA[l]
+		if x.minA[r] < mn {
+			mn = x.minA[r]
+		}
+		if x.maxA[r] > mx {
+			mx = x.maxA[r]
+		}
+		if x.minA[i] != mn || x.maxA[i] != mx {
+			return fmt.Errorf("core: index node %d = (%d,%d), want (%d,%d)",
+				i, x.minA[i], x.maxA[i], mn, mx)
+		}
+	}
+	return nil
+}
+
+// minAvailOnIndexed answers MinAvailOn through the index.  The segment range
+// is derived with the same Eps-tolerant predicates as the linear scan, so
+// the answer is identical.
+func (p *Profile) minAvailOnIndexed(a, b float64) int {
+	if !timeLess(a, b) {
+		return p.capacity - p.UsedAt(a)
+	}
+	x := p.idxEnsure()
+	lo := p.seg(a)
+	n := len(p.times)
+	// First segment index > lo whose start already reaches b (the linear
+	// loop's break condition), capped at n.
+	hi := lo + 1 + sort.Search(n-lo-1, func(k int) bool { return timeLeq(b, p.times[lo+1+k]) })
+	if hi > n {
+		hi = n
+	}
+	return x.rangeMin(lo, hi-1)
+}
+
+// earliestFitIndexed answers EarliestFit through the index.  The search
+// alternates max-descents (skip to the next segment with enough
+// availability) with range checks, visiting O(log n) nodes per blocked
+// stretch instead of scanning every segment.  Candidate start times and all
+// boundary comparisons are the same expressions as the linear scan, so the
+// returned start is bitwise identical.
+func (p *Profile) earliestFitIndexed(procs int, duration, est, deadline float64) (float64, bool) {
+	if procs > p.capacity || duration <= 0 {
+		return 0, false
+	}
+	x := p.idxEnsure()
+	n := len(p.times)
+	s := maxTime(est, p.times[0])
+	if !timeLeq(s+duration, deadline) {
+		return 0, false
+	}
+	i := p.seg(s)
+	for {
+		if p.capacity-p.used[i] < procs {
+			// The linear scan blocks immediately at i and then marches
+			// segment by segment; jump straight to the next segment with
+			// enough availability (the idle tail guarantees one exists).
+			m := x.firstAtLeast(i+1, procs)
+			if m >= n {
+				return 0, false
+			}
+			s = p.times[m]
+			i = m
+			if !timeLeq(s+duration, deadline) {
+				return 0, false
+			}
+		}
+		// avail(i) >= procs and times[i] <= s here.  The window [s, s+d)
+		// is covered by segments [i, jEnd].
+		jEnd := i + sort.Search(n-1-i, func(k int) bool { return timeLeq(s+duration, p.times[i+1+k]) })
+		jb := x.firstBelow(i, procs)
+		if jb > jEnd {
+			return s, true
+		}
+		// Segment jb blocks the window; restart after it at the next
+		// sufficiently available segment.  jb < n-1 always: the final
+		// segment is idle and procs <= capacity.
+		m := x.firstAtLeast(jb+1, procs)
+		if m >= n {
+			return 0, false
+		}
+		s = p.times[m]
+		i = m
+		if !timeLeq(s+duration, deadline) {
+			return 0, false
+		}
+	}
+}
+
+// maximalHolesIndexed answers MaximalHoles through the index: each
+// candidate rectangle's left/right extension is a single backward/forward
+// descent and its height a range-min query, O(n log n) total.  Spans,
+// deduplication, hole boundaries and ordering are computed with the same
+// expressions as the linear enumeration, so the slice is identical.
+func (p *Profile) maximalHolesIndexed(from float64) []Hole {
+	x := p.idxEnsure()
+	from = maxTime(from, p.times[0])
+	lo := p.seg(from)
+	n := len(p.times)
+
+	type span struct{ l, r int }
+	seen := make(map[span]bool)
+	var holes []Hole
+
+	for i := lo; i < n; i++ {
+		avail := p.capacity - p.used[i]
+		if avail <= 0 {
+			continue
+		}
+		l := lo
+		if j := x.lastBelow(i-1, avail); j+1 > lo {
+			l = j + 1
+		}
+		r := n - 1
+		if j := x.firstBelow(i+1, avail); j < n {
+			r = j - 1
+		}
+		min := x.rangeMin(l, r)
+		sp := span{l, r}
+		if seen[sp] {
+			continue
+		}
+		seen[sp] = true
+		start := p.times[l]
+		if l == lo {
+			start = maxTime(p.times[l], from)
+		}
+		end := Inf
+		if r < n-1 {
+			end = p.times[r+1]
+		}
+		holes = append(holes, Hole{Start: start, End: end, Procs: min})
+	}
+	sort.Slice(holes, func(a, b int) bool {
+		if !timeEq(holes[a].Start, holes[b].Start) {
+			return holes[a].Start < holes[b].Start
+		}
+		return holes[a].Procs > holes[b].Procs
+	})
+	return holes
+}

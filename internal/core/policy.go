@@ -61,6 +61,25 @@ const (
 	MalleableEarliestFinish
 )
 
+// ProfileIndexMode selects whether the scheduler's capacity profile carries
+// the segment-tree index (see index.go).  Both modes return identical
+// answers to every probe (enforced by the differential oracle harness);
+// they differ only in cost.
+type ProfileIndexMode int
+
+const (
+	// ProfileIndexOn (the default) attaches the segment-tree index:
+	// MinAvailOn is one range-min query, EarliestFit skips blocked
+	// stretches by tree descent, MaximalHoles extends rectangles by
+	// descent.  Admission cost stays near-logarithmic in the number of
+	// committed reservations.
+	ProfileIndexOn ProfileIndexMode = iota
+	// ProfileIndexOff keeps the linear reference path: every probe scans
+	// the segment list.  Retained as the oracle for differential tests
+	// and as an ablation baseline.
+	ProfileIndexOff
+)
+
 // ChainPlacer selects how the tasks of one chain are placed.
 type ChainPlacer int
 
@@ -82,6 +101,10 @@ type Options struct {
 	TieBreak    TieBreak
 	Malleable   MalleablePolicy
 	ChainPlacer ChainPlacer
+	// ProfileIndex selects whether the capacity profile keeps a
+	// segment-tree index over availability (default: on).  The index
+	// never changes scheduling decisions, only their cost.
+	ProfileIndex ProfileIndexMode
 	// BacktrackBudget bounds the total number of per-task placement
 	// attempts when ChainPlacer is PlaceBacktrack.  Zero means 64.
 	BacktrackBudget int

@@ -23,6 +23,11 @@ type Profile struct {
 	used     []int
 
 	trimmedBusy float64 // processor-time integral folded away by TrimBefore
+
+	// idx, when non-nil, is the segment-tree index over availability (see
+	// index.go).  Queries dispatch through it; mutations invalidate it
+	// incrementally (leaf refresh) or structurally (lazy rebuild).
+	idx *profIndex
 }
 
 // NewProfile returns an empty profile for capacity processors starting at
@@ -47,13 +52,17 @@ func (p *Profile) Origin() float64 { return p.times[0] }
 // Segments returns the number of explicit segments (for tests and stats).
 func (p *Profile) Segments() int { return len(p.times) }
 
-// Clone returns a deep copy of the profile.
+// Clone returns a deep copy of the profile.  A clone of an indexed profile
+// is itself indexed (with a fresh, lazily built tree and zeroed counters).
 func (p *Profile) Clone() *Profile {
 	q := &Profile{
 		capacity:    p.capacity,
 		times:       append([]float64(nil), p.times...),
 		used:        append([]int(nil), p.used...),
 		trimmedBusy: p.trimmedBusy,
+	}
+	if p.idx != nil {
+		q.EnableIndex()
 	}
 	return q
 }
@@ -77,6 +86,16 @@ func (p *Profile) AvailAt(t float64) int { return p.capacity - p.UsedAt(t) }
 
 // MinAvailOn returns the minimum number of free processors over [a, b).
 func (p *Profile) MinAvailOn(a, b float64) int {
+	if p.idx != nil {
+		return p.minAvailOnIndexed(a, b)
+	}
+	return p.minAvailOnLinear(a, b)
+}
+
+// minAvailOnLinear is the reference O(n) implementation of MinAvailOn: a
+// straight scan over the segments intersecting [a, b).  It is retained as
+// the oracle for the indexed path (see oracle_test.go).
+func (p *Profile) minAvailOnLinear(a, b float64) int {
 	if !timeLess(a, b) {
 		return p.capacity - p.UsedAt(a)
 	}
@@ -99,15 +118,29 @@ func (p *Profile) MinAvailOn(a, b float64) int {
 // ensureBreak inserts a breakpoint at time t (if one is not already present
 // within tolerance) and returns the index of the segment starting at t.
 // Times before the origin are clamped to the origin.
+//
+// Epsilon dedup: a new break is never inserted within Eps (1e-9) of an
+// existing one — the reservation boundary snaps to the existing break
+// instead (dedupBreak).  Without this, long churn runs whose reservation
+// boundaries are recomputed through drifting float arithmetic would
+// accumulate near-duplicate breakpoints, inflating segment counts (and
+// hence every probe's cost) without changing the profile's shape beyond
+// tolerance.  The dedup also upholds the structural invariant that
+// consecutive breakpoints are separated by more than Eps, which seg() and
+// the segment-tree index both rely on.
 func (p *Profile) ensureBreak(t float64) int {
 	if timeLeq(t, p.times[0]) {
 		return 0
 	}
 	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t+Eps })
-	// i is the first index with times[i] > t; segment i-1 contains t.
-	if timeEq(p.times[i-1], t) {
+	// i is the first index with times[i] > t+Eps, so times[i-1] is the
+	// nearest break at or left of t's tolerance band; times[i] is more
+	// than Eps away by construction.  Snap to times[i-1] when it is within
+	// the dedup threshold.
+	if dedupBreak(p.times[i-1], t) {
 		return i - 1
 	}
+	p.markStructDirty()
 	p.times = append(p.times, 0)
 	p.used = append(p.used, 0)
 	copy(p.times[i+1:], p.times[i:])
@@ -142,6 +175,15 @@ func (p *Profile) Reserve(procs int, start, finish float64) error {
 	for i := lo; i < hi; i++ {
 		p.used[i] += procs
 	}
+	// Incremental index maintenance: if both boundaries hit existing
+	// breakpoints the tree structure is unchanged and only the touched
+	// leaves need refreshing; otherwise ensureBreak already marked the
+	// index dirty and the next query rebuilds it.
+	if p.idx != nil && !p.idx.dirty && p.idx.n == len(p.used) {
+		for i := lo; i < hi; i++ {
+			p.idx.leafSet(i, p.capacity-p.used[i])
+		}
+	}
 	return nil
 }
 
@@ -149,6 +191,16 @@ func (p *Profile) Reserve(procs int, start, finish float64) error {
 // processors are free throughout [s, s+duration) and s+duration <= deadline.
 // The second result is false if no such start exists.
 func (p *Profile) EarliestFit(procs int, duration, est, deadline float64) (float64, bool) {
+	if p.idx != nil {
+		return p.earliestFitIndexed(procs, duration, est, deadline)
+	}
+	return p.earliestFitLinear(procs, duration, est, deadline)
+}
+
+// earliestFitLinear is the reference O(n) implementation of EarliestFit: a
+// forward scan that restarts after every blocking segment.  It is retained
+// as the oracle for the indexed path.
+func (p *Profile) earliestFitLinear(procs int, duration, est, deadline float64) (float64, bool) {
 	if procs > p.capacity || duration <= 0 {
 		return 0, false
 	}
@@ -208,6 +260,7 @@ func (p *Profile) TrimBefore(t float64) {
 	p.times = append(p.times[:0], p.times[i:]...)
 	p.used = append(p.used[:0], p.used[i:]...)
 	p.times[0] = t
+	p.markStructDirty()
 }
 
 // BusyUpTo returns the usage integral (processor-time units reserved) from
@@ -282,25 +335,38 @@ func (p *Profile) String() string {
 	return b.String()
 }
 
-// checkInvariants panics if internal invariants are violated; used by tests.
-func (p *Profile) checkInvariants() {
+// CheckInvariants verifies the profile's structural invariants: matching
+// slice lengths, strictly increasing breakpoints separated by more than Eps
+// (the epsilon-dedup guarantee), usage within [0, capacity], an idle final
+// segment, and — when a segment-tree index is attached and clean — exact
+// agreement between the tree's leaves/nodes and the segment data.  It is
+// exported for the differential test harness (internal/core/proftest).
+func (p *Profile) CheckInvariants() error {
 	if len(p.times) != len(p.used) {
-		panic("core: profile times/used length mismatch")
+		return fmt.Errorf("core: profile times/used length mismatch")
 	}
 	if len(p.times) == 0 {
-		panic("core: empty profile")
+		return fmt.Errorf("core: empty profile")
 	}
 	for i := 1; i < len(p.times); i++ {
 		if !timeLess(p.times[i-1], p.times[i]) {
-			panic(fmt.Sprintf("core: profile breakpoints not increasing: %v", p.times))
+			return fmt.Errorf("core: profile breakpoints not increasing (or within Eps): %v", p.times)
 		}
 	}
 	for i, u := range p.used {
 		if u < 0 || u > p.capacity {
-			panic(fmt.Sprintf("core: profile usage %d out of [0,%d] at segment %d", u, p.capacity, i))
+			return fmt.Errorf("core: profile usage %d out of [0,%d] at segment %d", u, p.capacity, i)
 		}
 	}
 	if p.used[len(p.used)-1] != 0 {
-		panic("core: profile final segment must be idle")
+		return fmt.Errorf("core: profile final segment must be idle")
+	}
+	return p.checkIndex()
+}
+
+// checkInvariants panics if internal invariants are violated; used by tests.
+func (p *Profile) checkInvariants() {
+	if err := p.CheckInvariants(); err != nil {
+		panic(err.Error())
 	}
 }

@@ -1,0 +1,110 @@
+package proftest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milan/internal/core"
+)
+
+// TestRandomOpsCoverKinds: the generator emits every operation kind and
+// both mutating and probing ops.
+func TestRandomOpsCoverKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := RandomOps(rng, 2000, 8)
+	var seen [numOpKinds]int
+	for _, op := range ops {
+		seen[op.Kind]++
+		if op.Procs < 1 || op.Procs > 8 {
+			t.Fatalf("op procs %d out of range", op.Procs)
+		}
+	}
+	for k, n := range seen {
+		if n == 0 {
+			t.Errorf("kind %v never generated", OpKind(k))
+		}
+	}
+}
+
+// TestDecodeOpsTotal: every byte string decodes without panicking, records
+// are 7 bytes, and the decoded values stay in the harness's domain.
+func TestDecodeOpsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		for _, op := range DecodeOps(buf, 6) {
+			if op.Kind >= numOpKinds {
+				t.Fatalf("decoded kind %d out of range", op.Kind)
+			}
+			if op.Procs < 1 || op.Procs > 6 {
+				t.Fatalf("decoded procs %d out of range", op.Procs)
+			}
+			if op.A < -1 || op.A > 200 || op.B <= 0 {
+				t.Fatalf("decoded times out of domain: %v", op)
+			}
+			if !math.IsInf(op.C, 1) && op.C < op.A+op.B-1e-9 {
+				t.Fatalf("decoded deadline before window end: %v", op)
+			}
+		}
+	}
+	if got := len(DecodeOps(make([]byte, 13), 4)); got != 1 {
+		t.Fatalf("13 bytes decoded to %d ops, want 1 (trailing partial dropped)", got)
+	}
+}
+
+// TestDiffAgreesOnRandomStreams: sanity that the harness itself reports
+// agreement for healthy implementations across a spread of capacities.
+func TestDiffAgreesOnRandomStreams(t *testing.T) {
+	for _, capacity := range []int{1, 3, 16} {
+		h := Harness{Capacity: capacity}
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		if k, desc := h.Diff(RandomOps(rng, 500, capacity)); k >= 0 {
+			t.Fatalf("capacity %d: unexpected divergence at %d: %s", capacity, k, desc)
+		}
+	}
+}
+
+// TestShrinkFindsMinimalRepro: inject a fault (an extra reservation applied
+// to the indexed profile only, after the 40th op) and check that the
+// shrinker reduces the 300-op failing stream to a handful of ops while
+// still reproducing a divergence.
+func TestShrinkFindsMinimalRepro(t *testing.T) {
+	h := Harness{
+		Capacity: 8,
+		corrupt: func(i int, indexed, linear *core.Profile) {
+			if i == 40 {
+				if s, ok := indexed.EarliestFit(1, 5, 0, math.Inf(1)); ok {
+					_ = indexed.Reserve(1, s, s+5)
+				}
+			}
+		},
+	}
+	rng := rand.New(rand.NewSource(3))
+	ops := RandomOps(rng, 300, 8)
+	k, _ := h.Diff(ops)
+	if k < 0 {
+		t.Fatal("fault injection produced no divergence")
+	}
+	small, desc := h.Shrink(ops)
+	if len(small) == 0 || desc == "" {
+		t.Fatal("shrinker returned no counterexample for a failing stream")
+	}
+	if len(small) > k+1 {
+		t.Fatalf("shrunk sequence (%d ops) longer than failing prefix (%d ops)", len(small), k+1)
+	}
+	// The shrunk sequence must still fail.
+	if j, _ := h.Diff(small); j < 0 {
+		t.Fatal("shrunk sequence no longer reproduces the divergence")
+	}
+}
+
+// TestShrinkOnHealthyStreamReturnsNil: Shrink is a no-op without a failure.
+func TestShrinkOnHealthyStreamReturnsNil(t *testing.T) {
+	h := Harness{Capacity: 4}
+	rng := rand.New(rand.NewSource(5))
+	if small, desc := h.Shrink(RandomOps(rng, 200, 4)); small != nil || desc != "" {
+		t.Fatalf("Shrink on healthy stream = (%v, %q), want (nil, \"\")", small, desc)
+	}
+}

@@ -26,6 +26,13 @@ func timeEq(a, b float64) bool {
 	return math.Abs(a-b) <= Eps
 }
 
+// dedupBreak reports whether a prospective profile breakpoint at t should
+// be deduplicated against an existing breakpoint at b: the two are closer
+// than the Eps tolerance (closed at Eps, matching timeEq), so inserting t
+// would create a sub-tolerance segment sliver.  Centralized so the
+// breakpoint-dedup policy is explicit and independently testable.
+func dedupBreak(b, t float64) bool { return timeEq(b, t) }
+
 // maxTime returns the larger of a and b.
 func maxTime(a, b float64) float64 {
 	if a > b {

@@ -156,6 +156,9 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	scheduleArrival(0)
 	engine.Run()
 
+	if cfg.Obs != nil {
+		cfg.Obs.RecordProfileIndex(arb.IndexStats())
+	}
 	res.Horizon = math.Max(lastFinish, lastRelease)
 	if res.Horizon > 0 {
 		res.Utilization = arb.Utilization(0, res.Horizon)

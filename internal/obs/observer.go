@@ -154,6 +154,15 @@ const (
 	MetricCalypsoExecs  = "calypso_execs"
 	MetricCalypsoFaults = "calypso_faults"
 	MetricStepSeconds   = "calypso_step_seconds"
+
+	// Profile-index gauges (see core.IndexStats): cumulative segment-tree
+	// work counters snapshotted via RecordProfileIndex.
+	MetricIndexRebuilds     = "profile_index_rebuilds"
+	MetricIndexLeafUpdates  = "profile_index_leaf_updates"
+	MetricIndexDescents     = "profile_index_descents"
+	MetricIndexDescentSteps = "profile_index_descent_steps"
+	MetricIndexRangeQueries = "profile_index_range_queries"
+	MetricIndexMeanDepth    = "profile_index_mean_descent_depth"
 )
 
 // SchedulerHooks returns core scheduler hooks that translate the admission
@@ -241,6 +250,29 @@ func (o *Observer) InstrumentOptions(opts *core.Options) *core.Options {
 	}
 	out.Hooks = o.SchedulerHooks()
 	return &out
+}
+
+// RecordProfileIndex snapshots a profile index's cumulative work counters
+// into the registry's gauges (rebuilds, incremental leaf updates, descents,
+// nodes visited, range queries, and mean descent depth).  Call it whenever
+// a fresh reading is wanted — after a run, or periodically while serving —
+// with the counters from core.Scheduler.IndexStats / qos.Arbitrator.
+// IndexStats.  A zero-value (index disabled) snapshot is a no-op so call
+// sites need not branch.
+func (o *Observer) RecordProfileIndex(st core.IndexStats) {
+	if !st.Enabled {
+		return
+	}
+	o.Reg.Gauge(MetricIndexRebuilds).Set(float64(st.Rebuilds))
+	o.Reg.Gauge(MetricIndexLeafUpdates).Set(float64(st.LeafUpdates))
+	o.Reg.Gauge(MetricIndexDescents).Set(float64(st.Descents))
+	o.Reg.Gauge(MetricIndexDescentSteps).Set(float64(st.DescentSteps))
+	o.Reg.Gauge(MetricIndexRangeQueries).Set(float64(st.RangeQueries))
+	depth := 0.0
+	if st.Descents > 0 {
+		depth = float64(st.DescentSteps) / float64(st.Descents)
+	}
+	o.Reg.Gauge(MetricIndexMeanDepth).Set(depth)
 }
 
 // DecisionObserver wraps a qos Decision observer (next may be nil): every

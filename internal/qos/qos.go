@@ -179,6 +179,14 @@ func (a *Arbitrator) Stats() core.Stats {
 	return a.sched.Stats()
 }
 
+// IndexStats returns the scheduler's profile-index work counters (zero
+// value when the index is disabled via Options.ProfileIndex).
+func (a *Arbitrator) IndexStats() core.IndexStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.IndexStats()
+}
+
 // History returns the recorded decisions (empty unless KeepHistory).
 func (a *Arbitrator) History() []Decision {
 	a.mu.Lock()

@@ -114,7 +114,14 @@ const (
 
 	PlaceGreedy    = core.PlaceGreedy
 	PlaceBacktrack = core.PlaceBacktrack
+
+	ProfileIndexOn  = core.ProfileIndexOn
+	ProfileIndexOff = core.ProfileIndexOff
 )
+
+// IndexStats reports the segment-tree profile index's work counters (see
+// Options.ProfileIndex and Scheduler.IndexStats).
+type IndexStats = core.IndexStats
 
 // ErrRejected is returned when admission control rejects a job.
 var ErrRejected = qos.ErrRejected
