@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|all|point|replicate|gantt
+//	tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|sharded|all|point|replicate|gantt
 //
 // The `point` subcommand runs the three systems once at the configured
-// parameters and prints the raw results.
+// parameters and prints the raw results.  The `sharded` subcommand compares
+// the monolithic arbitrator against a federated admission plane
+// (-shards N -probe k) over the Figure 5(a) arrival sweep.
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	plot := flag.Bool("plot", false, "render figures as ASCII charts in addition to tables")
 	csvOut := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	replicas := flag.Int("replicas", 10, "seeds for the replicate subcommand")
+	flag.IntVar(&shardCount, "shards", 2, "shard count for the sharded subcommand (federated admission plane)")
+	flag.IntVar(&probeFanout, "probe", 0, "probe fan-out k for best-of-k routing (0 = all shards)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
 	showMetrics := flag.Bool("metrics", false, "print the final metrics registry after the run")
 	flag.Parse()
@@ -64,7 +68,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|all|point|replicate|gantt")
+		fmt.Fprintln(os.Stderr, "usage: tunesim [flags] fig5a|fig5b|fig5c|fig5d|fig6a|fig6b|exta|extq|extr|extb|sharded|all|point|replicate|gantt")
 		os.Exit(2)
 	}
 	if err := run(cfg, flag.Arg(0)); err != nil {
@@ -115,6 +119,10 @@ var replicaCount int
 
 // csvFigures selects CSV output for figure subcommands.
 var csvFigures bool
+
+// shardCount and probeFanout configure the federated admission plane of the
+// sharded subcommand.
+var shardCount, probeFanout int
 
 // ganttDemo admits a short burst of tunable jobs and draws the resulting
 // processor-time schedule (holes show as dots).
@@ -217,8 +225,14 @@ func run(cfg experiments.Config, what string) error {
 			return err
 		}
 		return experiments.WriteQuality(out, pts, cfg)
+	case "sharded":
+		sf, err := experiments.Fig5aSharded(cfg, nil, shardCount, probeFanout)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSharded(out, sf)
 	case "all":
-		for _, w := range []string{"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "extq", "extr", "extb", "exta"} {
+		for _, w := range []string{"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "extq", "extr", "extb", "exta", "sharded"} {
 			if err := run(cfg, w); err != nil {
 				return err
 			}

@@ -3,6 +3,11 @@
 // separate processes on cluster nodes) negotiate reservations over the
 // wire, exactly as MILAN's distributed components would.
 //
+// The second act swaps the monolithic arbitrator for a federated admission
+// plane (internal/fed): one shard per broker-registered machine, best-of-k
+// routing, and a rebalancer that follows the broker — registering a new
+// machine mid-run grows the plane without restarting the server.
+//
 //	go run ./examples/cluster
 package main
 
@@ -10,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 
 	"milan"
+	"milan/internal/obs"
 	"milan/internal/qos/qosnet"
 	"milan/internal/resbroker"
 	"milan/internal/workload"
@@ -95,4 +102,97 @@ func main() {
 	}
 	fmt.Printf("\narbitrator: %d admitted, %d rejected, chain choices %v\n",
 		st.Admitted, st.Rejected, st.TunableChosen)
+
+	fmt.Println()
+	if err := federated(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// federated serves a sharded admission plane over the same qosnet wire
+// protocol: every broker-registered machine backs one shard, and the
+// rebalancer follows the broker so the plane's capacity tracks the pool.
+func federated() error {
+	fmt.Println("--- federated admission plane ---")
+	machines := []resbroker.Resource{
+		{ID: "node-0", Procs: 8, Speed: 1.0},
+		{ID: "node-1", Procs: 8, Speed: 1.0},
+		{ID: "node-2", Procs: 8, Speed: 1.0},
+	}
+	broker := resbroker.New(resbroker.FastestFirst{})
+	for _, r := range machines {
+		if err := broker.Register(r); err != nil {
+			return err
+		}
+	}
+
+	reg := obs.NewRegistry()
+	plane, err := milan.NewFederatedArbitrator(milan.FedConfig{
+		Procs:   broker.TotalProcs(),
+		Shards:  len(machines), // one shard per machine
+		ProbeK:  2,             // best-of-2 routing
+		Metrics: milan.NewFedMetrics(reg),
+	})
+	if err != nil {
+		return err
+	}
+	rb := plane.Rebalancer()
+	rb.MinShardProcs = 4 // never shrink a shard below the widest task
+	detach := rb.AttachBroker(broker, 0)
+	defer detach()
+	fmt.Printf("plane: %d processors across %d shards %v\n",
+		plane.Procs(), len(plane.ShardProcs()), plane.ShardProcs())
+
+	// The same qosnet server fronts the federated plane: agents cannot
+	// tell a sharded arbitrator from the monolith.
+	srv, err := qosnet.ListenAndServe(plane, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("federated plane listening on %s\n\n", srv.Addr())
+
+	spec := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}
+	var wg sync.WaitGroup
+	results := make([]string, 12)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := qosnet.Dial(srv.Addr().String())
+			if err != nil {
+				results[i] = fmt.Sprintf("client %d: dial: %v", i, err)
+				return
+			}
+			defer cli.Close()
+			agent := milan.NewAgent(spec.Job(i, 0, workload.Tunable))
+			g, err := agent.NegotiateWith(cli)
+			switch {
+			case errors.Is(err, milan.ErrRejected):
+				results[i] = fmt.Sprintf("client %d: rejected (admission control)", i)
+			case err != nil:
+				results[i] = fmt.Sprintf("client %d: %v", i, err)
+			default:
+				results[i] = fmt.Sprintf("client %d: granted path %d, finish t=%.0f", i, g.Chain, g.Finish())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	// A machine joins the cluster mid-run: the broker event resizes the
+	// plane and the rebalancer spreads the new capacity to hungry shards.
+	fmt.Printf("\nshard procs before join: %v (loads %.3v)\n", plane.ShardProcs(), plane.ShardLoads())
+	if err := broker.Register(resbroker.Resource{ID: "node-3", Procs: 8, Speed: 1.0}); err != nil {
+		return err
+	}
+	fmt.Printf("registered node-3:       %v procs total, shards %v\n", plane.Procs(), plane.ShardProcs())
+
+	st := plane.Stats()
+	fmt.Printf("\nplane: %d admitted, %d rejected, chain choices %v\n",
+		st.Admitted, st.Rejected, st.TunableChosen)
+	fmt.Println("\nfed metrics:")
+	return reg.WriteTable(os.Stdout)
 }

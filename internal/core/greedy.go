@@ -125,11 +125,50 @@ func (s *Scheduler) Admit(job Job) (*Placement, error) {
 	return pl, nil
 }
 
+// SetCapacity resizes the scheduler's machine to procs processors.  Growth
+// always succeeds; shrinking fails unless the new size still covers every
+// committed reservation (reservations are never preempted — only
+// uncommitted headroom may be given away).  The federated admission plane
+// uses this to migrate whole processors between shards.
+func (s *Scheduler) SetCapacity(procs int) error { return s.prof.SetCapacity(procs) }
+
+// NoteRejected records an admission rejection decided outside Admit — e.g.
+// by a federated router whose planning probes all failed — updating the
+// rejection counter and firing the Rejected hook exactly as Admit's own
+// rejection path does.  (Plan itself already counted the per-chain work and
+// the plan failure.)
+func (s *Scheduler) NoteRejected(job *Job, reason string) {
+	s.stat.Rejected++
+	if h := s.opts.Hooks; h != nil && h.Rejected != nil {
+		h.Rejected(job, reason)
+	}
+}
+
+// PlanKey carries the tie-break key of a planned placement in a form a
+// federated router can compare across schedulers: finish time,
+// utilization of the planning machine over [release, finish] including
+// the plan's own area, and the cumulative resource prefix.  (Quality and
+// area only order chains within one job and are already folded into the
+// per-machine choice.)
+type PlanKey struct {
+	Finish float64
+	Util   float64
+	Prefix []float64
+}
+
 // Plan evaluates the job without committing anything, returning the chosen
 // placement and whether the job is schedulable.  Plan+Commit allows the
 // arbitrator to interpose policy (e.g. quality maximization across jobs)
 // between feasibility analysis and reservation.
 func (s *Scheduler) Plan(job Job) (*Placement, bool) {
+	pl, _, ok := s.PlanKeyed(job)
+	return pl, ok
+}
+
+// PlanKeyed is Plan, additionally exposing the winning chain's tie-break
+// key (already computed during planning, so callers that need it — the
+// federated router's cross-shard comparison — pay nothing extra).
+func (s *Scheduler) PlanKeyed(job Job) (*Placement, PlanKey, bool) {
 	h := s.opts.Hooks
 	var best *Placement
 	var bestKey chainKey
@@ -167,8 +206,9 @@ func (s *Scheduler) Plan(job Job) (*Placement, bool) {
 		if h != nil && h.PlanFailure != nil {
 			h.PlanFailure(&job)
 		}
+		return nil, PlanKey{}, false
 	}
-	return best, best != nil
+	return best, PlanKey{Finish: bestKey.finish, Util: bestKey.util, Prefix: bestKey.prefix}, true
 }
 
 // Commit reserves the processor-time described by a placement previously

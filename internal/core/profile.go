@@ -307,6 +307,43 @@ func (p *Profile) BusyOn(a, b float64) float64 {
 	return busy
 }
 
+// PeakUsed returns the maximum number of processors committed at any time
+// still explicitly represented by the profile (i.e. at or after the origin).
+// It is the floor below which the machine cannot shrink without preempting
+// reservations.
+func (p *Profile) PeakUsed() int {
+	peak := 0
+	for _, u := range p.used {
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// SetCapacity resizes the machine to c processors.  Growth always succeeds;
+// shrinking succeeds only when the new capacity still covers every committed
+// reservation (PeakUsed) — reservations are never preempted, so a shard or
+// arbitrator may only give away uncommitted headroom.  The usage integral
+// and all committed reservations are unchanged; availability queries answer
+// against the new capacity from now on.
+func (p *Profile) SetCapacity(c int) error {
+	if c < 1 {
+		return fmt.Errorf("core: set capacity %d (must be >= 1)", c)
+	}
+	if c == p.capacity {
+		return nil
+	}
+	if peak := p.PeakUsed(); c < peak {
+		return fmt.Errorf("core: set capacity %d below committed peak usage %d", c, peak)
+	}
+	p.capacity = c
+	// Every index leaf stores availability (capacity - used), so a capacity
+	// change invalidates the whole tree; rebuild lazily on the next query.
+	p.markStructDirty()
+	return nil
+}
+
 // LastBreak returns the time of the profile's final breakpoint: the earliest
 // time after which the machine is entirely idle forever.
 func (p *Profile) LastBreak() float64 { return p.times[len(p.times)-1] }

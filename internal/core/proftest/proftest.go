@@ -8,7 +8,8 @@
 // The harness has three layers:
 //
 //	Op / RandomOps / DecodeOps — an operation vocabulary (reserve, trim,
-//	probe) with generators for seeded random streams and for byte-decoded
+//	probe, migration-shaped capacity steps) with generators for seeded
+//	random streams and for byte-decoded
 //	fuzzing inputs, including sub-epsilon time jitter to stress the
 //	Eps-tolerant boundary predicates.
 //
@@ -53,6 +54,11 @@ const (
 	OpHoles
 	// OpBusy compares BusyUpTo(A) and BusyOn(A, A+B).
 	OpBusy
+	// OpSetCapacity resizes both profiles to Procs + floor(B/5) processors
+	// (shrink-or-grow, migration-shaped capacity steps as performed by the
+	// federated admission plane's rebalancer) and compares success/failure.
+	// Shrinking below committed peak usage must fail identically on both.
+	OpSetCapacity
 
 	numOpKinds
 )
@@ -73,6 +79,8 @@ func (k OpKind) String() string {
 		return "Holes"
 	case OpBusy:
 		return "Busy"
+	case OpSetCapacity:
+		return "SetCapacity"
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
@@ -114,6 +122,8 @@ func RandomOps(rng *rand.Rand, n, capacity int) []Op {
 			op.Kind = OpReserve
 		case r < 0.55:
 			op.Kind = OpTrim
+		case r < 0.58:
+			op.Kind = OpSetCapacity
 		case r < 0.70:
 			op.Kind = OpMinAvail
 		case r < 0.85:
@@ -269,6 +279,13 @@ func applyBoth(pi, pl *core.Profile, op Op) string {
 		oi, ol := pi.BusyOn(op.A, op.A+op.B), pl.BusyOn(op.A, op.A+op.B)
 		if oi != ol {
 			return fmt.Sprintf("BusyOn: indexed %.17g, linear %.17g", oi, ol)
+		}
+	case OpSetCapacity:
+		newCap := op.Procs + int(op.B/5)
+		ei := pi.SetCapacity(newCap)
+		el := pl.SetCapacity(newCap)
+		if (ei == nil) != (el == nil) {
+			return fmt.Sprintf("SetCapacity(%d): indexed err=%v, linear err=%v", newCap, ei, el)
 		}
 	}
 	return ""

@@ -88,6 +88,16 @@ type RunResult struct {
 // its deadlines by construction of the reservation).
 func (r RunResult) Throughput() int { return r.Admitted }
 
+// admitter is the arbitration surface the simulation loop drives: the
+// monolithic qos.Arbitrator and the federated fed.Arbitrator (see
+// sharded.go) both satisfy it.
+type admitter interface {
+	qos.Negotiator
+	Observe(now float64)
+	Utilization(origin, horizon float64) float64
+	IndexStats() core.IndexStats
+}
+
 // Run simulates one task system under the configuration, driving arrivals
 // through the event engine and negotiating each job via a QoS agent against
 // the arbitrator.
@@ -103,7 +113,12 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	return runLoop(cfg, sys, arb)
+}
 
+// runLoop drives the discrete-event simulation of one task system against
+// an already-built arbitrator.
+func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 	var arrivals workload.Arrivals
 	if cfg.ArrivalFactory != nil {
 		arrivals = cfg.ArrivalFactory(cfg.Seed)

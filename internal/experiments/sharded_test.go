@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"milan/internal/workload"
+)
+
+// shardedTestConfig is a reduced sweep (fewer jobs) in the paper's regime.
+func shardedTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Jobs = 800
+	return cfg
+}
+
+// TestFig5aShardedComparableToMonolith runs the sharded-vs-monolith Figure
+// 5(a) entry on a reduced sweep and pins the plane's quality and balance:
+// the sharded utilization and miss-rate stay close to the monolith's, and
+// the rebalancer keeps the per-shard utilization spread within the
+// documented SpreadBound (read back through the obs gauges).
+func TestFig5aShardedComparableToMonolith(t *testing.T) {
+	cfg := shardedTestConfig()
+	intervals := []float64{15, 30, 50, 70}
+	fig, err := Fig5aSharded(cfg, intervals, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != len(intervals) {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	for _, pt := range fig.Points {
+		if pt.Monolith.Admitted == 0 || pt.Sharded.Admitted == 0 {
+			t.Fatalf("interval %v: degenerate run (mono %d, sharded %d admitted)",
+				pt.Interval, pt.Monolith.Admitted, pt.Sharded.Admitted)
+		}
+		// A shard is half the machine, so the plane cannot beat the
+		// monolith; it must stay within a modest utilization gap.
+		if gap := pt.Monolith.Utilization - pt.Sharded.Utilization; gap > 0.15 {
+			t.Errorf("interval %v: utilization gap %v too wide (mono %v, sharded %v)",
+				pt.Interval, gap, pt.Monolith.Utilization, pt.Sharded.Utilization)
+		}
+		if gap := MissRate(pt.Sharded) - MissRate(pt.Monolith); gap > 0.15 {
+			t.Errorf("interval %v: miss-rate gap %v too wide", pt.Interval, gap)
+		}
+		if pt.Stats.Spread > SpreadBound {
+			t.Errorf("interval %v: per-shard utilization spread %v exceeds documented bound %v",
+				pt.Interval, pt.Stats.Spread, SpreadBound)
+		}
+		if pt.Stats.Shards != 2 || pt.Stats.ProbeK != 2 {
+			t.Errorf("stats plane shape = %+v", pt.Stats)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteSharded(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shards=2") {
+		t.Fatalf("table missing header:\n%s", sb.String())
+	}
+	t.Logf("\n%s", sb.String())
+}
+
+// TestRunShardedSingleShardMatchesRun is the experiments-level face of the
+// differential guarantee: a 1-shard plane with probe fan-out 1 reproduces
+// the monolithic run exactly.
+func TestRunShardedSingleShardMatchesRun(t *testing.T) {
+	cfg := shardedTestConfig()
+	mono, err := Run(cfg, workload.Tunable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shr, st, err := RunSharded(cfg, workload.Tunable, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Admitted != shr.Admitted || mono.Rejected != shr.Rejected {
+		t.Fatalf("throughput differs: mono %d/%d, sharded %d/%d",
+			mono.Admitted, mono.Rejected, shr.Admitted, shr.Rejected)
+	}
+	if mono.Utilization != shr.Utilization {
+		t.Fatalf("utilization differs: %v vs %v", mono.Utilization, shr.Utilization)
+	}
+	if st.Spread != 0 {
+		t.Fatalf("1-shard spread = %v", st.Spread)
+	}
+}

@@ -1,0 +1,513 @@
+// Package fed implements a sharded admission plane: the machine's
+// processor pool is partitioned across N shards, each wrapping its own
+// core.Scheduler behind its own lock, and a router admits tunable jobs via
+// best-of-k probing.  Candidate shards are pre-filtered by a cheap cached
+// load signal (reserved area over a sliding horizon, per processor — the
+// classic power-of-k-choices trick), a real plan is computed on each of the
+// k probed shards, and the job commits to the winner under the paper's
+// cross-shard tie-break: earliest finish, then higher utilization over
+// [release, finish], then lexicographically smaller cumulative resource
+// prefix.
+//
+// The federated Arbitrator implements the same agent-facing surface as
+// qos.Arbitrator (Negotiate/NegotiateDAG/Observe/Stats/Utilization/...),
+// returning qos.Grant and qos.ErrRejected, so qosnet servers and sim
+// workloads run against it unchanged.  With a single shard and k = 1 the
+// plane performs exactly the monolithic arbitrator's scheduler calls in
+// exactly its order, so decisions and statistics are bitwise identical —
+// the differential test in fed_test.go pins that equivalence.
+//
+// Capacity moves between shards only through the Rebalancer (rebalance.go),
+// which migrates whole processors from cold shards with uncommitted
+// headroom to hungry ones and never preempts a committed reservation.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"milan/internal/core"
+	"milan/internal/qos"
+)
+
+// Config configures a federated admission plane.
+type Config struct {
+	// Procs is the total machine size, partitioned across the shards
+	// (required).
+	Procs int
+	// Shards is the number of partitions (default 1).  Each shard must
+	// hold at least one processor, so Shards <= Procs.
+	Shards int
+	// ProbeK is how many least-loaded shards receive a real planning probe
+	// per negotiation (default 2, clamped to [1, Shards]).
+	ProbeK int
+	// Origin is the schedule start time.
+	Origin float64
+	// Options is the per-shard scheduler policy; nil means the paper's
+	// defaults.
+	Options *core.Options
+	// Horizon is the sliding window of the cached load signal: a shard's
+	// load is its reserved area over [now, now+Horizon] per processor.
+	// Zero means all future reserved work.
+	Horizon float64
+	// KeepHistory retains every qos.Decision for inspection.
+	KeepHistory bool
+	// Observer, if set, is called synchronously with every decision, in
+	// commit order.
+	Observer func(qos.Decision)
+	// Metrics, if set, receives router and per-shard gauges/counters
+	// (see metrics.go).
+	Metrics *Metrics
+}
+
+// planKey is the cross-shard tie-break key for a planned placement: the
+// shard-local chainKey fields that are comparable across shards (quality
+// and area are already folded into the per-shard chain choice; across
+// shards the paper ordering is finish, then utilization, then resource
+// prefix).
+type planKey struct {
+	finish float64
+	util   float64
+	prefix []float64
+}
+
+// betterKey reports whether a strictly beats b under the paper's ordering,
+// with the same Eps-tolerant comparisons the monolithic scheduler uses.
+// On full ties the incumbent wins, so iterating candidates in load order
+// deterministically favors the less-loaded shard.
+func betterKey(a, b planKey) bool {
+	if !feq(a.finish, b.finish) {
+		return a.finish < b.finish
+	}
+	if !feq(a.util, b.util) {
+		return a.util > b.util
+	}
+	return comparePrefix(a.prefix, b.prefix) < 0
+}
+
+func feq(a, b float64) bool {
+	d := a - b
+	return d <= core.Eps && d >= -core.Eps
+}
+
+// comparePrefix mirrors core's cumulative-resource prefix order.
+func comparePrefix(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !feq(a[i], b[i]) {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Arbitrator is the federated QoS arbitrator: a router over shards.  It is
+// safe for concurrent use; admissions that land on different shards
+// proceed in parallel.
+type Arbitrator struct {
+	shards  []*Shard
+	probeK  int
+	origin  float64
+	nowBits atomic.Uint64
+
+	histMu   sync.Mutex
+	history  []qos.Decision
+	keepHist bool
+	observer func(qos.Decision)
+
+	metrics *Metrics
+
+	rebal *Rebalancer // lazily created by Rebalance/AttachBroker
+	rbMu  sync.Mutex
+}
+
+// New builds a federated arbitrator partitioning cfg.Procs processors
+// evenly across cfg.Shards shards (the first Procs mod Shards shards hold
+// one extra).
+func New(cfg Config) (*Arbitrator, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("fed: plane needs at least 1 processor, got %d", cfg.Procs)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || shards > cfg.Procs {
+		return nil, fmt.Errorf("fed: %d shards for %d processors (need 1 <= shards <= procs)", shards, cfg.Procs)
+	}
+	k := cfg.ProbeK
+	if k == 0 {
+		k = 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > shards {
+		k = shards
+	}
+	a := &Arbitrator{
+		probeK:   k,
+		origin:   cfg.Origin,
+		keepHist: cfg.KeepHistory,
+		observer: cfg.Observer,
+		metrics:  cfg.Metrics,
+	}
+	a.nowBits.Store(floatBits(cfg.Origin))
+	base, rem := cfg.Procs/shards, cfg.Procs%shards
+	for i := 0; i < shards; i++ {
+		procs := base
+		if i < rem {
+			procs++
+		}
+		sh := newShard(i, procs, cfg.Origin, cfg.Options, cfg.Horizon)
+		sh.mu.Lock()
+		sh.refreshLoadLocked()
+		sh.mu.Unlock()
+		a.shards = append(a.shards, sh)
+	}
+	if a.metrics != nil {
+		a.metrics.bindShards(len(a.shards))
+		a.publishMetrics()
+	}
+	return a, nil
+}
+
+// Shards returns the number of shards in the plane.
+func (a *Arbitrator) Shards() int { return len(a.shards) }
+
+// ProbeK returns the effective probe fan-out.
+func (a *Arbitrator) ProbeK() int { return a.probeK }
+
+// Shard returns the i-th shard for inspection (tests, the rebalancer, obs
+// gauges).
+func (a *Arbitrator) Shard(i int) *Shard { return a.shards[i] }
+
+// Procs returns the total machine size across all shards.
+func (a *Arbitrator) Procs() int {
+	total := 0
+	for _, sh := range a.shards {
+		total += sh.Procs()
+	}
+	return total
+}
+
+// candidates returns the indices of the k least-loaded shards, by the
+// cached lock-free load signal, ties broken by shard id (deterministic: a
+// strict-less insertion over ascending ids keeps the lower id first).
+// One O(shards * k) selection scan, no sort, no closure allocations — this
+// runs on every negotiation.
+func (a *Arbitrator) candidates() []int {
+	k := a.probeK
+	cands := make([]int, 0, k)
+	loads := make([]float64, 0, k)
+	for i, sh := range a.shards {
+		l := sh.Load()
+		pos := len(cands)
+		for pos > 0 && l < loads[pos-1] {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		if len(cands) < k {
+			cands = append(cands, 0)
+			loads = append(loads, 0)
+		}
+		copy(cands[pos+1:], cands[pos:])
+		copy(loads[pos+1:], loads[pos:])
+		cands[pos], loads[pos] = i, l
+	}
+	return cands
+}
+
+// probeResult is one successful planning probe.
+type probeResult struct {
+	shard *Shard
+	pl    *core.Placement
+	key   planKey
+	ver   uint64
+}
+
+// Negotiate runs federated admission control: probe the k least-loaded
+// shards with a real plan, commit to the best probe under the paper's
+// tie-break, and fall back down the probe order if a commit races with a
+// concurrent mutation and the re-admission is rejected.  Returns the grant
+// or qos.ErrRejected.
+func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
+	if err := job.Validate(); err != nil {
+		return nil, fmt.Errorf("fed: negotiate: %w", err)
+	}
+	cands := a.candidates()
+	probes := make([]probeResult, 0, len(cands))
+	for _, ci := range cands {
+		sh := a.shards[ci]
+		if pl, key, ver, ok := sh.probe(job); ok {
+			probes = append(probes, probeResult{shard: sh, pl: pl, key: key, ver: ver})
+		}
+	}
+	if a.metrics != nil {
+		a.metrics.Probes.Add(int64(len(cands)))
+	}
+	if len(probes) == 0 {
+		// No shard can schedule any chain.  Mirror the monolith's
+		// rejection bookkeeping on the least-loaded candidate (each
+		// probed shard already counted its own planning work).
+		a.shards[cands[0]].noteRejected(job)
+		a.finishReject(job)
+		return nil, qos.ErrRejected
+	}
+	// Order probes best-first: stable insertion on strict betterKey, so
+	// the incumbent wins ties and the load-order position breaks full
+	// ties toward the less-loaded shard.  k is tiny; no sort machinery.
+	for i := 1; i < len(probes); i++ {
+		for j := i; j > 0 && betterKey(probes[j].key, probes[j-1].key); j-- {
+			probes[j], probes[j-1] = probes[j-1], probes[j]
+		}
+	}
+	var lastErr error
+	for i, pr := range probes {
+		pl, raced, err := pr.shard.commitPlanned(job, pr.pl, pr.ver)
+		if raced && a.metrics != nil {
+			a.metrics.CommitRaces.Add(1)
+		}
+		if err != nil {
+			// The capacity the probe saw is gone; the raced re-admission
+			// already recorded the rejection on that shard.  Try the next
+			// best probe.
+			lastErr = err
+			continue
+		}
+		g := &qos.Grant{
+			JobID:     job.ID,
+			Chain:     pl.Chain,
+			Quality:   job.Chains[pl.Chain].Quality,
+			Placement: *pl,
+		}
+		a.finishAdmit(job, g, pr.shard, i)
+		return g, nil
+	}
+	a.finishReject(job)
+	if lastErr != nil && !errors.Is(lastErr, core.ErrRejected) {
+		return nil, lastErr
+	}
+	return nil, qos.ErrRejected
+}
+
+// NegotiateDAG runs DAG admission control, trying candidates in load
+// order until one admits the job.  DAG negotiations update shard
+// statistics but, like the monolith, are not recorded in the decision
+// history.
+func (a *Arbitrator) NegotiateDAG(job core.DAGJob) (*qos.Grant, error) {
+	var lastErr error
+	for _, ci := range a.candidates() {
+		sh := a.shards[ci]
+		pl, err := sh.admitDAG(job)
+		if err == nil {
+			if a.metrics != nil {
+				a.metrics.Admitted.Add(1)
+				a.publishMetrics()
+			}
+			return &qos.Grant{
+				JobID:     job.ID,
+				Chain:     pl.Chain,
+				Quality:   job.Alts[pl.Chain].Quality,
+				Placement: *pl,
+			}, nil
+		}
+		lastErr = err
+	}
+	if a.metrics != nil {
+		a.metrics.Rejected.Add(1)
+	}
+	if lastErr != nil && !errors.Is(lastErr, core.ErrRejected) {
+		return nil, lastErr
+	}
+	return nil, qos.ErrRejected
+}
+
+func (a *Arbitrator) finishAdmit(job core.Job, g *qos.Grant, sh *Shard, probeRank int) {
+	if a.metrics != nil {
+		a.metrics.Admitted.Add(1)
+		if probeRank > 0 {
+			a.metrics.NonBestCommits.Add(1)
+		}
+		a.publishMetrics()
+	}
+	a.record(qos.Decision{Job: job, Grant: g, Now: a.Now()})
+}
+
+func (a *Arbitrator) finishReject(job core.Job) {
+	if a.metrics != nil {
+		a.metrics.Rejected.Add(1)
+		a.publishMetrics()
+	}
+	a.record(qos.Decision{Job: job, Rejected: true, Now: a.Now()})
+}
+
+func (a *Arbitrator) record(d qos.Decision) {
+	a.histMu.Lock()
+	if a.keepHist {
+		a.history = append(a.history, d)
+	}
+	obs := a.observer
+	a.histMu.Unlock()
+	if obs != nil {
+		obs(d)
+	}
+}
+
+// Observe advances the plane's clock, folding elapsed history on every
+// shard.
+func (a *Arbitrator) Observe(now float64) {
+	for {
+		cur := floatFromBits(a.nowBits.Load())
+		if now <= cur {
+			return
+		}
+		if a.nowBits.CompareAndSwap(floatBits(cur), floatBits(now)) {
+			break
+		}
+	}
+	for _, sh := range a.shards {
+		sh.observe(now)
+	}
+	if a.metrics != nil {
+		a.publishMetrics()
+	}
+}
+
+// Now returns the last observed time.
+func (a *Arbitrator) Now() float64 { return floatFromBits(a.nowBits.Load()) }
+
+// Utilization returns reserved capacity as a fraction of the whole plane
+// over [origin, horizon]: total reserved processor-time up to horizon over
+// total processors times the window.  With one shard this is exactly the
+// monolithic arbitrator's utilization.
+func (a *Arbitrator) Utilization(origin, horizon float64) float64 {
+	if horizon <= origin {
+		return 0
+	}
+	var busy float64
+	procs := 0
+	for _, sh := range a.shards {
+		busy += sh.BusyUpTo(horizon)
+		procs += sh.Procs()
+	}
+	return busy / (float64(procs) * (horizon - origin))
+}
+
+// BusyUpTo returns total reserved processor-time up to t across the plane.
+func (a *Arbitrator) BusyUpTo(t float64) float64 {
+	var busy float64
+	for _, sh := range a.shards {
+		busy += sh.BusyUpTo(t)
+	}
+	return busy
+}
+
+// Stats returns the plane-wide scheduler counters: the additive merge of
+// every shard's core.Stats.
+func (a *Arbitrator) Stats() core.Stats {
+	var out core.Stats
+	for _, sh := range a.shards {
+		s := sh.Stats()
+		out.Admitted += s.Admitted
+		out.Rejected += s.Rejected
+		out.ReservedArea += s.ReservedArea
+		out.QualitySum += s.QualitySum
+		out.ChainsTried += s.ChainsTried
+		out.HolesProbed += s.HolesProbed
+		out.PlanFailures += s.PlanFailures
+		for ci, n := range s.TunableChosen {
+			for len(out.TunableChosen) <= ci {
+				out.TunableChosen = append(out.TunableChosen, 0)
+			}
+			out.TunableChosen[ci] += n
+		}
+	}
+	return out
+}
+
+// IndexStats returns the additive merge of every shard's profile-index
+// work counters.
+func (a *Arbitrator) IndexStats() core.IndexStats {
+	var out core.IndexStats
+	for _, sh := range a.shards {
+		s := sh.IndexStats()
+		out.Enabled = out.Enabled || s.Enabled
+		out.Rebuilds += s.Rebuilds
+		out.LeafUpdates += s.LeafUpdates
+		out.Descents += s.Descents
+		out.DescentSteps += s.DescentSteps
+		out.RangeQueries += s.RangeQueries
+	}
+	return out
+}
+
+// History returns the recorded decisions (empty unless KeepHistory), in
+// commit order.
+func (a *Arbitrator) History() []qos.Decision {
+	a.histMu.Lock()
+	defer a.histMu.Unlock()
+	return append([]qos.Decision(nil), a.history...)
+}
+
+// ShardLoads returns each shard's cached load signal (tests, CLIs).
+func (a *Arbitrator) ShardLoads() []float64 {
+	out := make([]float64, len(a.shards))
+	for i, sh := range a.shards {
+		out[i] = sh.Load()
+	}
+	return out
+}
+
+// ShardProcs returns each shard's current processor count.
+func (a *Arbitrator) ShardProcs() []int {
+	out := make([]int, len(a.shards))
+	for i, sh := range a.shards {
+		out[i] = sh.Procs()
+	}
+	return out
+}
+
+// UtilizationSpread returns max-min per-shard utilization over
+// [origin, horizon] — the balance figure the rebalancer drives down.
+func (a *Arbitrator) UtilizationSpread(origin, horizon float64) float64 {
+	if len(a.shards) == 0 || horizon <= origin {
+		return 0
+	}
+	lo, hi := 0.0, 0.0
+	for i, sh := range a.shards {
+		u := sh.Utilization(origin, horizon)
+		if i == 0 || u < lo {
+			lo = u
+		}
+		if i == 0 || u > hi {
+			hi = u
+		}
+	}
+	return hi - lo
+}
+
+// CheckInvariants validates every shard's profile invariants.
+func (a *Arbitrator) CheckInvariants() error {
+	for _, sh := range a.shards {
+		if err := sh.CheckInvariants(); err != nil {
+			return fmt.Errorf("fed: shard %d: %w", sh.ID(), err)
+		}
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

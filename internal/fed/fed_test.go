@@ -1,0 +1,405 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+	"milan/internal/qos"
+	"milan/internal/resbroker"
+	"milan/internal/workload"
+)
+
+// fig4Stream materializes n tunable Figure-4 jobs with Poisson gaps — the
+// paper's workload, shared with the experiments package.
+func fig4Stream(n int, meanGap float64, seed int64) []core.Job {
+	p := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
+	return p.Stream(workload.NewPoisson(meanGap, seed), n, workload.Tunable)
+}
+
+// smallStream scales the Figure-4 shape down to x = 4 so single tasks fit
+// inside small shards (a task never spans shards).
+func smallStream(n int, meanGap float64, seed int64) []core.Job {
+	p := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}
+	return p.Stream(workload.NewPoisson(meanGap, seed), n, workload.Tunable)
+}
+
+// TestSingleShardMatchesMonolith is the plane's differential anchor: with
+// one shard and probe fan-out one, the federated arbitrator performs
+// exactly the monolithic qos.Arbitrator's scheduler calls in exactly its
+// order, so on a Figure-4 replay the decision histories, statistics and
+// utilization figures must be bitwise identical.
+func TestSingleShardMatchesMonolith(t *testing.T) {
+	const procs = 32
+	jobs := fig4Stream(400, 6, 41)
+
+	mono, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: procs, KeepHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := New(Config{Procs: procs, Shards: 1, ProbeK: 1, KeepHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, job := range jobs {
+		mono.Observe(job.Release)
+		plane.Observe(job.Release)
+		gm, em := mono.Negotiate(job)
+		gf, ef := plane.Negotiate(job)
+		if (em == nil) != (ef == nil) {
+			t.Fatalf("job %d: monolith err=%v, fed err=%v", job.ID, em, ef)
+		}
+		if em != nil {
+			if !errors.Is(em, qos.ErrRejected) || !errors.Is(ef, qos.ErrRejected) {
+				t.Fatalf("job %d: unexpected errors %v / %v", job.ID, em, ef)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(gm, gf) {
+			t.Fatalf("job %d: grants differ\nmonolith: %+v\nfed:      %+v", job.ID, gm, gf)
+		}
+	}
+
+	hm, hf := mono.History(), plane.History()
+	if len(hm) != len(hf) {
+		t.Fatalf("history lengths differ: monolith %d, fed %d", len(hm), len(hf))
+	}
+	for i := range hm {
+		if !reflect.DeepEqual(hm[i], hf[i]) {
+			t.Fatalf("decision %d differs\nmonolith: %+v\nfed:      %+v", i, hm[i], hf[i])
+		}
+	}
+	if sm, sf := mono.Stats(), plane.Stats(); !reflect.DeepEqual(sm, sf) {
+		t.Fatalf("stats differ\nmonolith: %+v\nfed:      %+v", sm, sf)
+	}
+	if sm := mono.Stats(); sm.Admitted == 0 || sm.Rejected == 0 {
+		t.Fatalf("degenerate replay (admitted=%d rejected=%d): tune the stream", sm.Admitted, sm.Rejected)
+	}
+	last := jobs[len(jobs)-1].Release
+	if um, uf := mono.Utilization(0, last+100), plane.Utilization(0, last+100); um != uf {
+		t.Fatalf("utilization differs: monolith %v, fed %v", um, uf)
+	}
+	if bm, bf := mono.BusyUpTo(last), plane.BusyUpTo(last); bm != bf {
+		t.Fatalf("busy differs: monolith %v, fed %v", bm, bf)
+	}
+	if im, ifed := mono.IndexStats(), plane.IndexStats(); !reflect.DeepEqual(im, ifed) {
+		t.Fatalf("index stats differ\nmonolith: %+v\nfed:      %+v", im, ifed)
+	}
+	if err := plane.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0}); err == nil {
+		t.Fatal("accepted 0 procs")
+	}
+	if _, err := New(Config{Procs: 4, Shards: 8}); err == nil {
+		t.Fatal("accepted more shards than procs")
+	}
+	a, err := New(Config{Procs: 10, Shards: 4, ProbeK: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ProbeK() != 4 {
+		t.Fatalf("probe k = %d, want clamped to 4", a.ProbeK())
+	}
+	if got := a.ShardProcs(); !reflect.DeepEqual(got, []int{3, 3, 2, 2}) {
+		t.Fatalf("partition = %v, want [3 3 2 2]", got)
+	}
+	if a.Procs() != 10 {
+		t.Fatalf("total procs = %d", a.Procs())
+	}
+}
+
+// TestConcurrentNegotiateAcrossShards hammers an 8-shard plane from many
+// goroutines (run under -race in CI): every grant must respect its
+// deadlines, per-shard profiles must stay within capacity, and the
+// plane-wide admitted count must match the grants handed out.
+func TestConcurrentNegotiateAcrossShards(t *testing.T) {
+	const shards = 8
+	const workers = 16
+	const perWorker = 30
+
+	plane, err := New(Config{Procs: 8 * shards, Shards: shards, ProbeK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var granted sync.Map
+	var admitted, rejected int64
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			jobs := smallStream(perWorker, 10, int64(100+w))
+			for _, job := range jobs {
+				job.ID = w*perWorker + job.ID
+				g, err := plane.Negotiate(job)
+				mu.Lock()
+				if err != nil {
+					rejected++
+				} else {
+					admitted++
+					granted.Store(job.ID, g)
+				}
+				mu.Unlock()
+				if err == nil {
+					// Every task of the granted chain meets its deadline.
+					chain := job.Chains[g.Chain]
+					for i, tp := range g.Placement.Tasks {
+						if tp.Finish > chain.Tasks[i].Deadline+core.Eps {
+							t.Errorf("job %d task %d finishes %v after deadline %v",
+								job.ID, i, tp.Finish, chain.Tasks[i].Deadline)
+						}
+					}
+				} else if !errors.Is(err, qos.ErrRejected) {
+					t.Errorf("job %d: unexpected error %v", job.ID, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := plane.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := plane.Stats()
+	if int64(st.Admitted) != admitted {
+		t.Fatalf("stats admitted %d, grants returned %d", st.Admitted, admitted)
+	}
+	if admitted+rejected != workers*perWorker {
+		t.Fatalf("decisions %d, jobs %d", admitted+rejected, workers*perWorker)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+// loadShardDirect commits jobs straight into one shard's scheduler,
+// creating the imbalance the router would normally avoid — white-box setup
+// for the rebalancer tests.
+func loadShardDirect(t *testing.T, sh *Shard, procs int, dur, deadline float64) {
+	t.Helper()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	job := core.Job{ID: 9000 + sh.id, Chains: []core.Chain{{
+		Quality: 1,
+		Tasks:   []core.Task{{Procs: procs, Duration: dur, Deadline: deadline, Quality: 1}},
+	}}}
+	if _, err := sh.sched.Admit(job); err != nil {
+		t.Fatalf("direct load of shard %d: %v", sh.id, err)
+	}
+	sh.version++
+	sh.refreshLoadLocked()
+}
+
+func TestRebalancerMigratesHeadroomToHungryShard(t *testing.T) {
+	plane, err := New(Config{Procs: 8, Shards: 2, ProbeK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 is saturated for a long stretch; shard 1 idles.
+	loadShardDirect(t, plane.Shard(0), 4, 100, 1000)
+
+	rb := plane.Rebalancer()
+	if !rb.RebalanceOnce() {
+		t.Fatal("no migration despite cold headroom and a hungry shard")
+	}
+	if got := plane.ShardProcs(); !reflect.DeepEqual(got, []int{5, 3}) {
+		t.Fatalf("after one move: %v, want [5 3]", got)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("total procs changed: %d", plane.Procs())
+	}
+	moved := rb.Rebalance(0)
+	// Further moves keep flowing toward shard 0 until the donor floor.
+	if got := plane.Shard(1).Procs(); got < rb.MinShardProcs {
+		t.Fatalf("donor shrunk below floor: %d", got)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("total procs changed after %d moves: %d", moved, plane.Procs())
+	}
+	if err := plane.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalancerNeverPreempts(t *testing.T) {
+	plane, err := New(Config{Procs: 8, Shards: 2, ProbeK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both shards fully committed: no headroom anywhere.
+	loadShardDirect(t, plane.Shard(0), 4, 100, 1000)
+	loadShardDirect(t, plane.Shard(1), 4, 50, 1000)
+	if plane.Rebalancer().RebalanceOnce() {
+		t.Fatal("migrated a processor out of a fully committed shard")
+	}
+	if got := plane.ShardProcs(); !reflect.DeepEqual(got, []int{4, 4}) {
+		t.Fatalf("procs changed: %v", got)
+	}
+}
+
+func TestSetTotalCapacityGrowAndShrink(t *testing.T) {
+	plane, err := New(Config{Procs: 8, Shards: 2, ProbeK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := plane.Rebalancer()
+
+	if got, err := rb.SetTotalCapacity(12); err != nil || got != 12 {
+		t.Fatalf("grow: got %d err %v", got, err)
+	}
+	if plane.Procs() != 12 {
+		t.Fatalf("procs = %d after grow", plane.Procs())
+	}
+	if got, err := rb.SetTotalCapacity(8); err != nil || got != 8 {
+		t.Fatalf("shrink: got %d err %v", got, err)
+	}
+
+	// Shrink stops at committed reservations instead of preempting.
+	loadShardDirect(t, plane.Shard(0), plane.Shard(0).Procs(), 100, 1000)
+	loadShardDirect(t, plane.Shard(1), plane.Shard(1).Procs(), 100, 1000)
+	got, err := rb.SetTotalCapacity(4)
+	if err == nil {
+		t.Fatal("shrink below committed usage succeeded")
+	}
+	if got != 8 || plane.Procs() != 8 {
+		t.Fatalf("capacity after refused shrink: %d (plane %d), want 8", got, plane.Procs())
+	}
+	if _, err := rb.SetTotalCapacity(1); err == nil {
+		t.Fatal("accepted total below one proc per shard")
+	}
+}
+
+func TestAttachBrokerFollowsPool(t *testing.T) {
+	plane, err := New(Config{Procs: 8, Shards: 2, ProbeK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := resbroker.New(nil)
+	stop := plane.Rebalancer().AttachBroker(broker, 0)
+	defer stop()
+
+	if err := broker.Register(resbroker.Resource{ID: "m0", Procs: 8, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("procs = %d after matching registration", plane.Procs())
+	}
+	if err := broker.Register(resbroker.Resource{ID: "m1", Procs: 4, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Procs() != 12 {
+		t.Fatalf("procs = %d after adding m1, want 12", plane.Procs())
+	}
+	if err := broker.Deregister("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("procs = %d after removing m1, want 8", plane.Procs())
+	}
+	// Bindings of computations do not resize the plane.
+	if _, err := broker.Bind(resbroker.Request{Computation: "c", MinProcs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("procs = %d after unrelated bind", plane.Procs())
+	}
+	stop()
+	if err := broker.Register(resbroker.Resource{ID: "m2", Procs: 16, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Procs() != 8 {
+		t.Fatalf("stopped subscription still resized the plane to %d", plane.Procs())
+	}
+}
+
+func TestNegotiateDAGFederated(t *testing.T) {
+	plane, err := New(Config{Procs: 8, Shards: 2, ProbeK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := core.DAGJob{ID: 1, Alts: []core.DAG{{
+		Name:    "diamond",
+		Quality: 0.9,
+		Tasks: []core.DAGTask{
+			{Task: core.Task{Procs: 2, Duration: 5, Deadline: 100}},
+			{Task: core.Task{Procs: 2, Duration: 10, Deadline: 100}, Preds: []int{0}},
+			{Task: core.Task{Procs: 2, Duration: 10, Deadline: 100}, Preds: []int{0}},
+			{Task: core.Task{Procs: 2, Duration: 5, Deadline: 100}, Preds: []int{1, 2}},
+		},
+	}}}
+	g, err := plane.NegotiateDAG(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Quality != 0.9 {
+		t.Fatalf("quality = %v", g.Quality)
+	}
+	// An infeasible DAG is rejected with the qos sentinel.
+	bad := core.DAGJob{ID: 2, Alts: []core.DAG{{
+		Name:  "too-wide",
+		Tasks: []core.DAGTask{{Task: core.Task{Procs: 64, Duration: 5, Deadline: 100}}},
+	}}}
+	if _, err := plane.NegotiateDAG(bad); !errors.Is(err, qos.ErrRejected) {
+		t.Fatalf("err = %v, want qos.ErrRejected", err)
+	}
+}
+
+func TestMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	plane, err := New(Config{Procs: 16, Shards: 2, ProbeK: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := smallStream(40, 4, 7)
+	for _, job := range jobs {
+		plane.Observe(job.Release)
+		_, _ = plane.Negotiate(job)
+	}
+	if m.Probes.Value() == 0 {
+		t.Fatal("no probes counted")
+	}
+	st := plane.Stats()
+	if m.Admitted.Value() != int64(st.Admitted) {
+		t.Fatalf("metrics admitted %d, stats %d", m.Admitted.Value(), st.Admitted)
+	}
+	loadShardDirect(t, plane.Shard(0), plane.Shard(0).Procs(), 200, 10000)
+	if n := plane.Rebalancer().Rebalance(0); n > 0 && m.Migrations.Value() != int64(n) {
+		t.Fatalf("metrics migrations %d, moved %d", m.Migrations.Value(), n)
+	}
+	for i := 0; i < plane.Shards(); i++ {
+		g := reg.Gauge(fmt.Sprintf("fed_shard_%d_procs", i))
+		if g.Value() != float64(plane.Shard(i).Procs()) {
+			t.Fatalf("gauge fed_shard_%d_procs = %v, shard has %d", i, g.Value(), plane.Shard(i).Procs())
+		}
+	}
+}
+
+// TestUtilizationSpread exercises the balance figure the experiments
+// report: after a rebalancing pass on an imbalanced plane the spread must
+// not widen.
+func TestUtilizationSpread(t *testing.T) {
+	plane, err := New(Config{Procs: 16, Shards: 4, ProbeK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadShardDirect(t, plane.Shard(0), 4, 50, 1000)
+	before := plane.UtilizationSpread(0, 50)
+	plane.Rebalancer().Rebalance(0)
+	after := plane.UtilizationSpread(0, 50)
+	if after > before+core.Eps {
+		t.Fatalf("rebalance widened utilization spread: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,86 @@
+package fed
+
+import (
+	"fmt"
+
+	"milan/internal/obs"
+)
+
+// Metrics bundles the admission plane's observability surface: router
+// counters (probes, admissions, rejections, optimistic-concurrency races,
+// migrations) plus per-shard gauges (processor count, cached load signal)
+// and the plane-wide load spread, all resolved once against an
+// obs.Registry so the hot admission path only touches atomics.
+type Metrics struct {
+	Probes         *obs.Counter // planning probes issued by the router
+	Admitted       *obs.Counter // jobs granted across the plane
+	Rejected       *obs.Counter // jobs rejected across the plane
+	CommitRaces    *obs.Counter // commits that found a stale shard version
+	NonBestCommits *obs.Counter // grants that fell back past the best probe
+	Migrations     *obs.Counter // processors moved by the rebalancer
+
+	LoadSpread *obs.Gauge // max-min cached shard load
+	ProcSpread *obs.Gauge // max-min shard processor count
+
+	reg        *obs.Registry
+	shardProcs []*obs.Gauge
+	shardLoad  []*obs.Gauge
+}
+
+// NewMetrics resolves the plane's instruments in reg under the fed_
+// namespace.  Per-shard gauges are bound when the Arbitrator is built
+// (the shard count is not known here).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Probes:         reg.Counter("fed_probes"),
+		Admitted:       reg.Counter("fed_admitted"),
+		Rejected:       reg.Counter("fed_rejected"),
+		CommitRaces:    reg.Counter("fed_commit_races"),
+		NonBestCommits: reg.Counter("fed_nonbest_commits"),
+		Migrations:     reg.Counter("fed_migrations"),
+		LoadSpread:     reg.Gauge("fed_load_spread"),
+		ProcSpread:     reg.Gauge("fed_proc_spread"),
+		reg:            reg,
+	}
+}
+
+// bindShards resolves one procs gauge and one load gauge per shard.
+func (m *Metrics) bindShards(n int) {
+	m.shardProcs = make([]*obs.Gauge, n)
+	m.shardLoad = make([]*obs.Gauge, n)
+	for i := 0; i < n; i++ {
+		m.shardProcs[i] = m.reg.Gauge(fmt.Sprintf("fed_shard_%d_procs", i))
+		m.shardLoad[i] = m.reg.Gauge(fmt.Sprintf("fed_shard_%d_load", i))
+	}
+}
+
+// publishMetrics refreshes the per-shard gauges and the spread gauges from
+// the shards' lock-free load caches and their current sizes.
+func (a *Arbitrator) publishMetrics() {
+	m := a.metrics
+	if m == nil || len(m.shardProcs) != len(a.shards) {
+		return
+	}
+	var loLoad, hiLoad float64
+	loProc, hiProc := 0, 0
+	for i, sh := range a.shards {
+		procs := sh.Procs()
+		load := sh.Load()
+		m.shardProcs[i].Set(float64(procs))
+		m.shardLoad[i].Set(load)
+		if i == 0 || load < loLoad {
+			loLoad = load
+		}
+		if i == 0 || load > hiLoad {
+			hiLoad = load
+		}
+		if i == 0 || procs < loProc {
+			loProc = procs
+		}
+		if i == 0 || procs > hiProc {
+			hiProc = procs
+		}
+	}
+	m.LoadSpread.Set(hiLoad - loLoad)
+	m.ProcSpread.Set(float64(hiProc - loProc))
+}

@@ -1,0 +1,226 @@
+package fed
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"milan/internal/core"
+)
+
+// Shard is one partition of the machine's processor pool: its own
+// core.Scheduler behind its own lock, so admissions on different shards
+// proceed concurrently.  All mutation goes through the federated router and
+// the rebalancer; tests may inspect a shard through the read accessors.
+type Shard struct {
+	id int
+
+	mu    sync.Mutex
+	sched *core.Scheduler
+	now   float64
+	// version counts committed mutations (reservations, trims, resizes).
+	// The router records it at probe time and may commit a planned
+	// placement without re-planning when the version is unchanged — the
+	// optimistic-concurrency fast path that keeps a 1-shard plane
+	// bitwise-identical to the monolithic arbitrator.
+	version uint64
+
+	// horizon is the sliding load-signal window (0 = all future work).
+	horizon float64
+	// loadArea approximates the shard's future reserved area: it is
+	// recomputed exactly from the profile on observe and resize, and
+	// bumped incrementally by each commit's own area in between (a commit
+	// never needs to rescan the profile for the routing signal — slight
+	// staleness of the window edge is fine for a load hint).
+	loadArea float64
+	// loadBits caches the shard's normalized load signal (future reserved
+	// area per processor) as float64 bits, so the router's
+	// power-of-k-choices scan reads one atomic per shard without taking
+	// any lock.
+	loadBits atomic.Uint64
+}
+
+func newShard(id, procs int, origin float64, opts *core.Options, horizon float64) *Shard {
+	return &Shard{
+		id:      id,
+		sched:   core.NewScheduler(procs, origin, opts),
+		now:     origin,
+		horizon: horizon,
+	}
+}
+
+// ID returns the shard's index within the plane.
+func (sh *Shard) ID() int { return sh.id }
+
+// Procs returns the shard's current processor count.
+func (sh *Shard) Procs() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Procs()
+}
+
+// Load returns the cached load signal: reserved area over the sliding
+// horizon, per processor.  It is refreshed after every committed mutation
+// and read lock-free by the router.
+func (sh *Shard) Load() float64 { return math.Float64frombits(sh.loadBits.Load()) }
+
+// Headroom returns the number of processors the shard could give away
+// without touching any committed reservation (capacity minus the peak
+// committed usage over its represented future).
+func (sh *Shard) Headroom() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Procs() - sh.sched.Profile().PeakUsed()
+}
+
+// Stats returns the shard scheduler's counters.
+func (sh *Shard) Stats() core.Stats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Stats()
+}
+
+// IndexStats returns the shard's profile-index work counters.
+func (sh *Shard) IndexStats() core.IndexStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.IndexStats()
+}
+
+// BusyUpTo returns the shard's reserved processor-time up to t.
+func (sh *Shard) BusyUpTo(t float64) float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.BusyUpTo(t)
+}
+
+// Utilization returns the shard's reserved-capacity fraction over
+// [origin, horizon] against its own processor count.
+func (sh *Shard) Utilization(origin, horizon float64) float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Utilization(origin, horizon)
+}
+
+// CheckInvariants validates the shard profile's structural invariants
+// (usage within capacity everywhere, ordered breakpoints, clean index).
+func (sh *Shard) CheckInvariants() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Profile().CheckInvariants()
+}
+
+// refreshLoadLocked recomputes the cached load signal exactly from the
+// profile.  Callers hold sh.mu.
+func (sh *Shard) refreshLoadLocked() {
+	p := sh.sched.Profile()
+	from := sh.now
+	if o := p.Origin(); o > from {
+		from = o
+	}
+	if sh.horizon > 0 {
+		sh.loadArea = p.BusyOn(from, from+sh.horizon)
+	} else {
+		sh.loadArea = p.BusyOn(from, p.LastBreak())
+	}
+	sh.publishLoadLocked()
+}
+
+// bumpLoadLocked adds a freshly committed placement's area to the cached
+// signal without rescanning the profile; the next observe or resize
+// snaps the approximation back to exact.  Callers hold sh.mu.
+func (sh *Shard) bumpLoadLocked(area float64) {
+	sh.loadArea += area
+	sh.publishLoadLocked()
+}
+
+func (sh *Shard) publishLoadLocked() {
+	sh.loadBits.Store(math.Float64bits(sh.loadArea / float64(sh.sched.Procs())))
+}
+
+// probe plans the job on this shard without committing, returning the
+// placement, its cross-shard tie-break key (the one the planner already
+// computed for its own chain choice) and the shard version the plan was
+// computed against.
+func (sh *Shard) probe(job core.Job) (pl *core.Placement, key planKey, ver uint64, ok bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl, pk, ok := sh.sched.PlanKeyed(job)
+	if !ok {
+		return nil, planKey{}, sh.version, false
+	}
+	return pl, planKey{finish: pk.Finish, util: pk.Util, prefix: pk.Prefix}, sh.version, true
+}
+
+// commitPlanned commits a placement planned at version ver.  When the shard
+// is unchanged since the probe, the plan commits directly (the monolith's
+// Plan+Commit sequence, split across two critical sections).  When another
+// admission or a trim won the race, the job is re-admitted from scratch on
+// this shard; raced reports that fallback.  A core.ErrRejected from the
+// re-admission means the capacity the probe saw is gone.
+func (sh *Shard) commitPlanned(job core.Job, pl *core.Placement, ver uint64) (out *core.Placement, raced bool, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.version == ver {
+		if err := sh.sched.Commit(job, pl); err != nil {
+			return nil, false, err
+		}
+		sh.version++
+		sh.bumpLoadLocked(pl.Area())
+		return pl, false, nil
+	}
+	pl2, err := sh.sched.Admit(job)
+	if err != nil {
+		return nil, true, err
+	}
+	sh.version++
+	sh.bumpLoadLocked(pl2.Area())
+	return pl2, true, nil
+}
+
+// noteRejected records a router-level rejection on this shard, mirroring
+// the monolithic Admit's rejection bookkeeping (the probes already counted
+// the per-chain planning work).
+func (sh *Shard) noteRejected(job core.Job) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sched.NoteRejected(&job, "no-feasible-chain")
+}
+
+// admitDAG runs DAG admission control on this shard.
+func (sh *Shard) admitDAG(job core.DAGJob) (*core.Placement, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl, err := sh.sched.AdmitDAG(job)
+	if err == nil {
+		sh.version++
+		sh.bumpLoadLocked(pl.Area())
+	}
+	return pl, err
+}
+
+// observe advances the shard's clock, folding elapsed history.
+func (sh *Shard) observe(now float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if now > sh.now {
+		sh.now = now
+		sh.sched.Observe(now)
+		sh.version++
+		sh.refreshLoadLocked()
+	}
+}
+
+// resize sets the shard's processor count: growth always succeeds,
+// shrinking is limited to uncommitted headroom (reservations are never
+// preempted).
+func (sh *Shard) resize(procs int) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.sched.SetCapacity(procs); err != nil {
+		return err
+	}
+	sh.version++
+	sh.refreshLoadLocked()
+	return nil
+}

@@ -54,11 +54,23 @@ type response struct {
 	Count    int
 }
 
+// Arbitrator is the admission surface a server can export: everything the
+// static negotiation protocol needs.  Both the monolithic qos.Arbitrator
+// and the federated fed.Arbitrator satisfy it, so a sharded admission
+// plane drops in behind the same wire protocol unchanged.
+type Arbitrator interface {
+	Negotiate(job core.Job) (*qos.Grant, error)
+	NegotiateDAG(job core.DAGJob) (*qos.Grant, error)
+	Observe(now float64)
+	Stats() core.Stats
+	Utilization(origin, horizon float64) float64
+}
+
 // Server exposes an arbitrator over a listener.  Each accepted connection
 // is served by its own goroutine; the arbitrator itself serializes
 // decisions.
 type Server struct {
-	arb *qos.Arbitrator
+	arb Arbitrator
 	dyn *qos.DynamicArbitrator
 	ln  net.Listener
 
@@ -71,7 +83,7 @@ type Server struct {
 }
 
 // Serve starts serving the arbitrator on ln and returns immediately.
-func Serve(arb *qos.Arbitrator, ln net.Listener) *Server {
+func Serve(arb Arbitrator, ln net.Listener) *Server {
 	s := &Server{arb: arb, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -80,7 +92,7 @@ func Serve(arb *qos.Arbitrator, ln net.Listener) *Server {
 
 // ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves the
 // arbitrator on it.
-func ListenAndServe(arb *qos.Arbitrator, addr string) (*Server, error) {
+func ListenAndServe(arb Arbitrator, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("qosnet: listen %s: %w", addr, err)

@@ -181,6 +181,13 @@ type Broker struct {
 	committed map[string]int // per-resource procs committed
 	bindings  map[string]Binding
 	subs      []func(Event)
+	// pending is the FIFO of events enqueued (under mu, in the same
+	// critical section as the state change they describe) but not yet
+	// delivered; delivering marks that some goroutine is draining it.
+	// Together they guarantee subscribers observe events in state-change
+	// order even when mutations race on different goroutines.
+	pending    []Event
+	delivering bool
 }
 
 // New returns a broker using the given policy (nil means FirstFit).
@@ -362,17 +369,47 @@ func (b *Broker) freeLocked() int {
 	return free
 }
 
-// notifyLocked snapshots the subscriber list under the lock and returns a
-// closure that delivers the event after the lock is released, so observers
-// may call back into the broker without deadlocking.
+// notifyLocked enqueues the event in the delivery FIFO — still inside the
+// critical section that performed the state change, so queue order equals
+// state-change order — and returns the drain entry point to be called
+// after the lock is released, so observers may call back into the broker
+// without deadlocking.
+//
+// Delivery ordering: the returned closure used to carry its event
+// directly, which let two racing mutations deliver out of order (A
+// commits, B commits, B's goroutine delivers first).  The FIFO plus the
+// delivering flag close that race: exactly one goroutine drains at a
+// time, in queue order, and reentrant broker calls from inside a
+// subscriber simply enqueue — the active drainer picks them up next.
 func (b *Broker) notifyLocked(ev Event) func() {
-	subs := make([]func(Event), len(b.subs))
-	copy(subs, b.subs)
-	return func() {
+	b.pending = append(b.pending, ev)
+	return b.drain
+}
+
+// drain delivers pending events in order.  If another goroutine is
+// already draining (including the caller's own stack, when a subscriber
+// reentered the broker), it returns immediately — the active drainer owns
+// the queue until it is empty.
+func (b *Broker) drain() {
+	b.mu.Lock()
+	if b.delivering {
+		b.mu.Unlock()
+		return
+	}
+	b.delivering = true
+	for len(b.pending) > 0 {
+		ev := b.pending[0]
+		b.pending = b.pending[1:]
+		subs := make([]func(Event), len(b.subs))
+		copy(subs, b.subs)
+		b.mu.Unlock()
 		for _, fn := range subs {
 			fn(ev)
 		}
+		b.mu.Lock()
 	}
+	b.delivering = false
+	b.mu.Unlock()
 }
 
 func tagsMatch(have, want map[string]string) bool {

@@ -28,6 +28,7 @@ package milan
 
 import (
 	"milan/internal/core"
+	"milan/internal/fed"
 	"milan/internal/obs"
 	"milan/internal/qos"
 	"milan/internal/taskgraph"
@@ -229,6 +230,32 @@ type (
 	// SchedulerHooks instruments the admission pipeline (core.Options.Hooks).
 	SchedulerHooks = core.Hooks
 )
+
+// Sharded admission plane: the machine's processor pool partitioned across
+// independently locked arbitrator shards with best-of-k routing and
+// broker-driven capacity rebalancing (internal/fed).
+type (
+	// FedArbitrator is the federated admission plane; it satisfies the
+	// same negotiation surface as Arbitrator.
+	FedArbitrator = fed.Arbitrator
+	// FedConfig configures NewFederatedArbitrator.
+	FedConfig = fed.Config
+	// FedShard is one partition of the plane's processor pool.
+	FedShard = fed.Shard
+	// FedMetrics are the plane's obs instruments.
+	FedMetrics = fed.Metrics
+	// Rebalancer migrates processors between a plane's shards.
+	Rebalancer = fed.Rebalancer
+)
+
+// NewFederatedArbitrator returns a sharded admission plane.
+func NewFederatedArbitrator(cfg FedConfig) (*FedArbitrator, error) {
+	return fed.New(cfg)
+}
+
+// NewFedMetrics resolves the plane's instruments in a registry, for
+// FedConfig.Metrics.
+func NewFedMetrics(reg *Registry) *FedMetrics { return fed.NewMetrics(reg) }
 
 // NewObserver returns an observer with the given configuration.
 func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
