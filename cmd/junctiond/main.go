@@ -18,12 +18,17 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"milan/internal/calypso"
 	"milan/internal/junction"
 	"milan/internal/obs"
 )
+
+// lastRuntime holds the most recently constructed Calypso runtime so the
+// /healthz "calypso" readiness check can inspect its worker health.
+var lastRuntime atomic.Pointer[calypso.Runtime]
 
 func main() {
 	size := flag.Int("size", 256, "image width and height")
@@ -39,12 +44,24 @@ func main() {
 	var observer *obs.Observer
 	if *debugAddr != "" {
 		observer = obs.New(obs.Config{})
+		// Readiness: the debug endpoint reports 503 until a runtime exists
+		// and while every worker of the latest runtime has crashed.
+		observer.AddHealthCheck("calypso", func() error {
+			rt := lastRuntime.Load()
+			if rt == nil {
+				return fmt.Errorf("no runtime constructed yet")
+			}
+			if m := rt.Metrics(); *workers > 0 && m.Crashes >= *workers {
+				return fmt.Errorf("all %d workers crashed", *workers)
+			}
+			return nil
+		})
 		addr, srv, err := startDebug(observer, *debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt)\n\n", addr)
+		fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt /healthz)\n\n", addr)
 	}
 
 	if *video > 0 {
@@ -82,6 +99,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		lastRuntime.Store(rt)
 		res, err := junction.RunScored(rt, im, c.params, truth, *radius)
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)

@@ -22,6 +22,7 @@ import (
 	"milan/internal/core"
 	"milan/internal/experiments"
 	"milan/internal/obs"
+	"milan/internal/obs/slo"
 	"milan/internal/workload"
 )
 
@@ -44,15 +45,35 @@ func main() {
 	flag.IntVar(&probeFanout, "probe", 0, "probe fan-out k for best-of-k routing (0 = all shards)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
 	showMetrics := flag.Bool("metrics", false, "print the final metrics registry after the run")
+	sloAudit := flag.Bool("slo", false, "audit the run with the SLO engine and print the end-of-run conformance report")
+	flightPath := flag.String("flight", "", "write the latest flight-recorder snapshot (JSONL) to this file after the run (implies -slo)")
 	flag.Parse()
 	replicaCount = *replicas
 	plotFigures = *plot
 	csvFigures = *csvOut
 	cfg.Malleable = *malleable
+	if *flightPath != "" {
+		*sloAudit = true
+	}
 	var observer *obs.Observer
-	if *tracePath != "" || *showMetrics {
-		observer = obs.New(obs.Config{KeepPlacements: *tracePath != "", Capacity: cfg.Procs})
+	var auditor *slo.Engine
+	var recorder *slo.Recorder
+	if *tracePath != "" || *showMetrics || *sloAudit {
+		if *sloAudit {
+			recorder = slo.NewRecorder(0, 0)
+		}
+		observer = obs.New(obs.Config{
+			KeepPlacements: *tracePath != "",
+			Capacity:       cfg.Procs,
+			Tracing:        *sloAudit || *tracePath != "",
+			Sink:           recorder, // nil-safe: slo.Recorder no-ops on nil
+		})
 		cfg.Obs = observer
+		if *sloAudit {
+			recorder.Attach(observer.Tracer())
+			auditor = slo.New(slo.Options{Registry: observer.Reg, Recorder: recorder})
+			cfg.SLO = auditor
+		}
 	}
 	switch *tiebreak {
 	case "paper":
@@ -75,10 +96,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tunesim:", err)
 		os.Exit(1)
 	}
+	if err := finishSLO(os.Stdout, auditor, recorder, *flightPath); err != nil {
+		fmt.Fprintln(os.Stderr, "tunesim:", err)
+		os.Exit(1)
+	}
 	if err := finishObs(os.Stdout, observer, *tracePath, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "tunesim:", err)
 		os.Exit(1)
 	}
+	if auditor != nil && !auditor.Report().Conformant() {
+		os.Exit(1) // the hard invariant broke: fail the run visibly
+	}
+}
+
+// finishSLO prints the end-of-run conformance report (the -slo output) and
+// writes the flight-recorder snapshot file (the -flight output).  A nil
+// auditor is a no-op.
+func finishSLO(out io.Writer, e *slo.Engine, rec *slo.Recorder, flightPath string) error {
+	if e == nil {
+		return nil
+	}
+	fmt.Fprintln(out)
+	if err := e.WriteReport(out); err != nil {
+		return err
+	}
+	if flightPath == "" {
+		return nil
+	}
+	snap := rec.Last()
+	if snap == nil {
+		// Nothing anomalous happened: cut a manual snapshot so the
+		// artifact still captures the rings at end of run.
+		snap = rec.Trigger(slo.TriggerManual, 0, 0, "end-of-run snapshot (no anomaly triggered)")
+	}
+	f, err := os.Create(flightPath)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote flight snapshot (%s, %d spans, %d events) to %s\n",
+		snap.Kind, len(snap.Spans), len(snap.Events), flightPath)
+	if snap.Kind != slo.TriggerManual {
+		fmt.Fprintf(out, "replay verdict: %s\n", slo.Replay(snap))
+	}
+	return nil
 }
 
 // finishObs renders the post-run observability artifacts: the metrics table

@@ -9,6 +9,7 @@ import (
 
 	"milan/internal/experiments"
 	"milan/internal/obs"
+	"milan/internal/obs/slo"
 )
 
 // testCfg is a tiny configuration so every subcommand runs in milliseconds.
@@ -143,6 +144,87 @@ func TestFinishObsNilObserver(t *testing.T) {
 	}
 	if _, err := os.Stat("ignored.json"); err == nil {
 		t.Fatal("nil observer created a trace file")
+	}
+}
+
+// TestFinishSLOReportAndFlight runs an audited point experiment and checks
+// the -slo conformance report plus the -flight snapshot artifact.
+func TestFinishSLOReportAndFlight(t *testing.T) {
+	cfg := testCfg()
+	rec := slo.NewRecorder(256, 256)
+	o := obs.New(obs.Config{Capacity: cfg.Procs, Tracing: true, Sink: rec})
+	rec.Attach(o.Tracer())
+	eng := slo.New(slo.Options{Registry: o.Reg, Recorder: rec})
+	cfg.Obs, cfg.SLO = o, eng
+	if err := run(cfg, "point"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	var buf bytes.Buffer
+	if err := finishSLO(&buf, eng, rec, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SLO conformance: CONFORMANT", "deadline misses=0", "wrote flight snapshot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := slo.DecodeSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != slo.TriggerManual || len(snap.Spans) == 0 || len(snap.Events) == 0 {
+		t.Fatalf("snapshot: kind=%s spans=%d events=%d", snap.Kind, len(snap.Spans), len(snap.Events))
+	}
+}
+
+// TestFinishSLODetectsInjectedFault runs with a completion delay and checks
+// the report flags the misses and the snapshot replays to a runtime fault.
+func TestFinishSLODetectsInjectedFault(t *testing.T) {
+	cfg := testCfg()
+	cfg.Jobs = 30
+	cfg.CompletionDelay = 1e4
+	rec := slo.NewRecorder(1024, 1024)
+	o := obs.New(obs.Config{Capacity: cfg.Procs, Tracing: true, Sink: rec})
+	rec.Attach(o.Tracer())
+	eng := slo.New(slo.Options{Registry: o.Reg, Recorder: rec})
+	cfg.Obs, cfg.SLO = o, eng
+	if err := run(cfg, "point"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	var buf bytes.Buffer
+	if err := finishSLO(&buf, eng, rec, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VIOLATED", "replay verdict: fault=runtime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo output missing %q:\n%s", want, out)
+		}
+	}
+	if eng.Report().Conformant() {
+		t.Fatal("injected fault not reported")
+	}
+}
+
+// TestFinishSLONilEngine is the unaudited fast path: nothing happens.
+func TestFinishSLONilEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := finishSLO(&buf, nil, nil, "ignored.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil engine wrote output: %q", buf.String())
+	}
+	if _, err := os.Stat("ignored.jsonl"); err == nil {
+		t.Fatal("nil engine created a flight file")
 	}
 }
 

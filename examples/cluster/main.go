@@ -14,7 +14,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sync"
 
@@ -150,7 +152,41 @@ func federated() error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("federated plane listening on %s\n\n", srv.Addr())
+	fmt.Printf("federated plane listening on %s\n", srv.Addr())
+
+	// The debug endpoint publishes the plane's health: /healthz aggregates
+	// liveness with broker and shard readiness, so an orchestrator can gate
+	// traffic on the plane actually holding routable capacity.
+	o := obs.New(obs.Config{Registry: reg, Tracing: true})
+	o.AddHealthCheck("broker", func() error {
+		if broker.TotalProcs() == 0 {
+			return fmt.Errorf("no registered capacity")
+		}
+		return nil
+	})
+	o.AddHealthCheck("shards", func() error {
+		procs := plane.ShardProcs()
+		if len(procs) == 0 {
+			return fmt.Errorf("no shards")
+		}
+		for i, p := range procs {
+			if p < rb.MinShardProcs {
+				return fmt.Errorf("shard %d below minimum width (%d < %d)", i, p, rb.MinShardProcs)
+			}
+		}
+		return nil
+	})
+	dbgAddr, err := srv.EnableDebug(o, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", dbgAddr))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("debug endpoint http://%s  /healthz -> %d %s\n", dbgAddr, resp.StatusCode, body)
 
 	spec := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}
 	var wg sync.WaitGroup

@@ -133,6 +133,14 @@ type Job struct {
 	Name    string
 	Release float64
 	Chains  []Chain
+
+	// Trace and Span carry request-tracing identity (obs.TraceID /
+	// obs.SpanID of the request's root span) through the admission
+	// pipeline as plain integers, so core needs no observability
+	// dependency.  Zero means "untraced"; the scheduler never reads
+	// them beyond passing the job to its hooks.
+	Trace uint64
+	Span  uint64
 }
 
 // Tunable reports whether the job offers the scheduler a choice of paths.

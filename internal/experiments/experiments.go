@@ -9,9 +9,11 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/sim"
 	"milan/internal/workload"
@@ -35,8 +37,24 @@ type Config struct {
 	// scheduler's admission pipeline (via core hook adapters), the
 	// arbitrator's decision stream and the sim engine's fired events.
 	// While a run executes, the observer's clock follows the simulation
-	// clock.  nil (the default) costs nothing.
+	// clock.  When the observer traces (obs.Config.Tracing), the run loop
+	// mints one trace per arrival and records arrival/run spans around the
+	// stages the lower layers produce.  nil (the default) costs nothing.
 	Obs *obs.Observer
+	// SLO, if set, audits the run: every admission decision feeds the
+	// engine's latency objective and in-flight set, and every admitted
+	// job's completion is checked against its deadline (the hard
+	// "admitted implies met" invariant).  Completions are simulated as
+	// discrete events at the reservation finish plus CompletionDelay.
+	// nil (the default) costs nothing and schedules no extra events.
+	SLO *slo.Engine
+	// CompletionDelay shifts every admitted job's simulated completion
+	// past its reservation finish — a fault-injection knob: a positive
+	// delay makes the runtime break reservations it was granted, which
+	// the SLO engine must flag as deadline misses and the flight
+	// recorder's replay must localize to the runtime stage.  Zero (the
+	// default) completes jobs exactly when their reservation promised.
+	CompletionDelay float64
 }
 
 // DefaultConfig returns the baseline configuration: M = 32 processors,
@@ -132,6 +150,14 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 		cfg.Obs.SetCapacity(cfg.Procs)
 		defer cfg.Obs.SetClock(nil) // back to wall time after the run
 	}
+	var tracer *obs.Tracer
+	if cfg.Obs != nil {
+		tracer = cfg.Obs.Tracer()
+	}
+	// Auditing (tracing or SLO accounting) adds completion events to the
+	// simulation and wall-clock latency timing around each negotiation;
+	// the default path schedules and measures nothing extra.
+	auditing := cfg.SLO != nil || tracer != nil
 	var lastFinish, lastRelease float64
 	var slackSum float64
 
@@ -149,21 +175,66 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 			if cfg.Malleable {
 				job = job.MakeMalleable()
 			}
+			var root *obs.ActiveSpan
+			if tracer != nil {
+				tr := tracer.NewTrace()
+				root = tracer.StartAt(tr, 0, "job.admit", obs.StageArrival, id, now)
+				job.Trace = uint64(tr)
+				job.Span = uint64(root.ID())
+			}
+			var wallStart time.Time
+			if auditing {
+				wallStart = time.Now()
+			}
 			ag := qos.NewAgent(job)
 			g, err := ag.NegotiateWith(arb)
+			var latency float64
+			if auditing {
+				latency = time.Since(wallStart).Seconds()
+			}
 			if err == nil {
 				res.Admitted++
 				if f := g.Finish(); f > lastFinish {
 					lastFinish = f
 				}
 				chain := job.Chains[g.Chain]
-				slackSum += chain.Tasks[len(chain.Tasks)-1].Deadline - g.Finish()
+				deadline := chain.Tasks[len(chain.Tasks)-1].Deadline
+				slackSum += deadline - g.Finish()
 				for len(res.ChainShare) <= g.Chain {
 					res.ChainShare = append(res.ChainShare, 0)
 				}
 				res.ChainShare[g.Chain]++
+				if auditing {
+					root.SetAttr("chain", float64(g.Chain))
+					root.EndAt(now)
+					finish := g.Finish() + cfg.CompletionDelay
+					if finish < now {
+						finish = now
+					}
+					run := tracer.StartAt(obs.TraceID(job.Trace), obs.SpanID(job.Span),
+						"job.run", obs.StageRun, id, g.Placement.Start())
+					run.SetAttr("deadline", deadline)
+					run.SetAttr("reserved_finish", g.Finish())
+					cfg.SLO.JobAdmitted(id, job.Trace, now, latency, deadline, g.Finish())
+					cfg.SLO.Tick(now)
+					jobID := id
+					ev := engine.At(finish, "complete", func() {
+						// End the run span before the completion lands in
+						// the SLO engine so a triggered flight snapshot
+						// already holds the span that convicts the stage.
+						run.EndAt(finish)
+						cfg.SLO.JobCompleted(jobID, finish)
+					})
+					ev.Trace = job.Trace
+				}
 			} else {
 				res.Rejected++
+				if auditing {
+					root.SetErr("rejected")
+					root.EndAt(now)
+					cfg.SLO.JobRejected(id, job.Trace, now, latency)
+					cfg.SLO.Tick(now)
+				}
 			}
 			scheduleArrival(id + 1)
 		})

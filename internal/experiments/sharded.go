@@ -6,6 +6,7 @@ import (
 
 	"milan/internal/fed"
 	"milan/internal/obs"
+	"milan/internal/obs/slo"
 	"milan/internal/workload"
 )
 
@@ -29,15 +30,23 @@ type ShardedStats struct {
 
 // rebalancingPlane adapts a federated plane to the simulation loop's
 // admitter surface, running one rebalancer move after every clock
-// observation so capacity follows the workload during the run.
+// observation so capacity follows the workload during the run.  When an
+// SLO engine audits the run, each observation also feeds it the plane's
+// cumulative commit-race and migration counters so commit-race spikes and
+// rebalance storms trip the flight recorder.
 type rebalancingPlane struct {
 	*fed.Arbitrator
-	rb *fed.Rebalancer
+	rb      *fed.Rebalancer
+	slo     *slo.Engine
+	metrics *fed.Metrics
 }
 
 func (p rebalancingPlane) Observe(now float64) {
 	p.Arbitrator.Observe(now)
 	p.rb.Rebalance(1)
+	if p.slo != nil && p.metrics != nil {
+		p.slo.ObserveRouter(now, p.metrics.CommitRaces.Value(), p.metrics.Migrations.Value())
+	}
 }
 
 // RunSharded simulates one task system against a federated admission plane
@@ -50,13 +59,17 @@ func RunSharded(cfg Config, sys workload.System, shards, probeK int) (RunResult,
 	}
 	reg := obs.NewRegistry()
 	metrics := fed.NewMetrics(reg)
-	plane, err := fed.New(fed.Config{
+	fedCfg := fed.Config{
 		Procs:   cfg.Procs,
 		Shards:  shards,
 		ProbeK:  probeK,
 		Options: cfg.Opts,
 		Metrics: metrics,
-	})
+	}
+	if cfg.Obs != nil {
+		fedCfg.Tracer = cfg.Obs.Tracer()
+	}
+	plane, err := fed.New(fedCfg)
 	if err != nil {
 		return RunResult{}, ShardedStats{}, err
 	}
@@ -68,7 +81,7 @@ func RunSharded(cfg Config, sys workload.System, shards, probeK int) (RunResult,
 	if cfg.Job.X > rb.MinShardProcs {
 		rb.MinShardProcs = cfg.Job.X
 	}
-	res, err := runLoop(cfg, sys, rebalancingPlane{plane, rb})
+	res, err := runLoop(cfg, sys, rebalancingPlane{plane, rb, cfg.SLO, metrics})
 	if err != nil {
 		return RunResult{}, ShardedStats{}, err
 	}

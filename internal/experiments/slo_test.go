@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"milan/internal/obs"
+	"milan/internal/obs/slo"
+	"milan/internal/workload"
+)
+
+// auditedConfig returns a small audited configuration: tracing observer,
+// SLO engine, flight recorder.
+func auditedConfig(jobs int) (Config, *slo.Engine, *slo.Recorder, *obs.Observer) {
+	o := obs.New(obs.Config{Tracing: true, SpanRingSize: 1 << 14})
+	rec := slo.NewRecorder(1<<12, 1<<12)
+	rec.Attach(o.Tracer())
+	eng := slo.New(slo.Options{Registry: o.Reg, Recorder: rec})
+	cfg := DefaultConfig()
+	cfg.Jobs = jobs
+	cfg.Obs = o
+	cfg.SLO = eng
+	return cfg, eng, rec, o
+}
+
+// TestAuditedRunConformant is the paper's hard invariant, end to end: a
+// faithful runtime (completions exactly at the reserved finish) must
+// produce zero deadline misses and zero over-admissions — admitted
+// implies met.
+func TestAuditedRunConformant(t *testing.T) {
+	cfg, eng, rec, o := auditedConfig(400)
+	res, err := Run(cfg, workload.Tunable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Report()
+	if !r.Conformant() {
+		t.Fatalf("faithful run violated SLO: %+v", r.Violations)
+	}
+	if r.Admitted != int64(res.Admitted) || r.Rejected != int64(res.Rejected) {
+		t.Fatalf("SLO counters diverge from run result: slo=%+v run=%+v", r, res)
+	}
+	if r.Completed != r.Admitted || r.InFlight != 0 {
+		t.Fatalf("completions missing: %+v", r)
+	}
+	if rec.Len() != 0 {
+		t.Fatalf("flight recorder triggered on a conformant run: %d snapshots", rec.Len())
+	}
+	if o.Tracer().Total() == 0 {
+		t.Fatal("no spans recorded on a traced run")
+	}
+	// Every admitted job's trace carries arrival, plan and run stages.
+	trees := obs.BuildSpanTrees(o.Tracer().Spans())
+	checked := 0
+	for _, tree := range trees {
+		if tree.FindStage(obs.StageArrival) == nil {
+			t.Fatalf("trace %d missing arrival span", tree.Trace)
+		}
+		if run := tree.FindStage(obs.StageRun); run != nil {
+			if _, ok := run.Attrs["deadline"]; !ok {
+				t.Fatalf("run span missing deadline attr: %+v", run.SpanRec)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no run spans found in any trace")
+	}
+}
+
+// TestInjectedRuntimeFaultLocalizes forces the simulated runtime to finish
+// every job far past its reservation.  The SLO engine must flag the misses,
+// the flight recorder must cut a snapshot, and differential replay of that
+// snapshot must convict the runtime stage — not the planner or router.
+func TestInjectedRuntimeFaultLocalizes(t *testing.T) {
+	cfg, eng, rec, _ := auditedConfig(60)
+	cfg.CompletionDelay = 1e4 // far beyond any deadline slack
+	res, err := Run(cfg, workload.Tunable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("nothing admitted; fault injection untested")
+	}
+	r := eng.Report()
+	if r.Conformant() || r.DeadlineMisses == 0 {
+		t.Fatalf("injected fault not detected: %+v", r)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("flight recorder did not trigger")
+	}
+	snap := rec.Snapshots()[0]
+	if snap.Kind != slo.TriggerDeadlineMiss {
+		t.Fatalf("snapshot kind = %s", snap.Kind)
+	}
+	v := slo.Replay(snap)
+	if v.Fault != slo.FaultRuntime {
+		t.Fatalf("replay verdict = %+v, want runtime", v)
+	}
+	if v.ActualFinish <= v.ReservedFinish {
+		t.Fatalf("replay numbers inconsistent: %+v", v)
+	}
+
+	// The snapshot survives a JSONL round trip with the same verdict —
+	// the production workflow: download /flight, replay offline.
+	var buf bytes.Buffer
+	if err := snap.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := slo.DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 := slo.Replay(got); v2 != v {
+		t.Fatalf("verdict drifted across JSONL: %+v vs %+v", v2, v)
+	}
+}
+
+// TestInjectedPlannerFaultLocalizes feeds the SLO engine a reservation
+// already past its deadline (bypassing the real planner, which never emits
+// one): the over-admission trigger must localize to the planner.
+func TestInjectedPlannerFaultLocalizes(t *testing.T) {
+	rec := slo.NewRecorder(64, 64)
+	eng := slo.New(slo.Options{Recorder: rec})
+	eng.JobAdmitted(1, 77, 1.0, 1e-3, 10.0, 12.0)
+	if rec.Len() != 1 {
+		t.Fatal("over-admission did not trigger")
+	}
+	if v := slo.Replay(rec.Last()); v.Fault != slo.FaultPlanner {
+		t.Fatalf("verdict = %+v, want planner", v)
+	}
+}
+
+// TestShardedAuditedRunZeroMisses is the acceptance gate: a full sharded
+// run under audit reports zero deadline-miss violations.
+func TestShardedAuditedRunZeroMisses(t *testing.T) {
+	cfg, eng, rec, _ := auditedConfig(600)
+	res, st, err := RunSharded(cfg, workload.Tunable, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Report()
+	if !r.Conformant() || r.DeadlineMisses != 0 {
+		t.Fatalf("sharded run violated SLO: %+v", r.Violations)
+	}
+	if r.Completed != int64(res.Admitted) {
+		t.Fatalf("completions %d != admitted %d", r.Completed, res.Admitted)
+	}
+	if st.Shards != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if rec.Len() != 0 {
+		// Router anomalies may legitimately trigger under contention, but
+		// the tiny 2-shard run must stay quiet.
+		t.Fatalf("unexpected flight snapshots: %d (%s)", rec.Len(), rec.Last().Kind)
+	}
+	if got := eng.Report(); got.OverAdmissions != 0 {
+		t.Fatalf("over-admissions: %d", got.OverAdmissions)
+	}
+}
+
+// TestDefaultRunUnchangedByAuditKnobs pins the zero-cost contract: the
+// same seed with and without auditing produces bit-identical RunResults.
+func TestDefaultRunUnchangedByAuditKnobs(t *testing.T) {
+	base := DefaultConfig()
+	base.Jobs = 300
+	plain, err := Run(base, workload.Tunable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited, eng, _, _ := auditedConfig(300)
+	got, err := Run(audited, workload.Tunable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Admitted != got.Admitted || plain.Rejected != got.Rejected ||
+		plain.Utilization != got.Utilization || plain.Horizon != got.Horizon ||
+		plain.MeanLateSlack != got.MeanLateSlack {
+		t.Fatalf("auditing changed the run:\nplain   %+v\naudited %+v", plain, got)
+	}
+	if eng.Report().Admitted == 0 {
+		t.Fatal("audit engine saw nothing")
+	}
+}

@@ -1,0 +1,88 @@
+package fed
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+)
+
+// Tracing-cost benchmarks for the predictability auditor.  The contract
+// is that the span plumbing is free when off — a sharded plane with no
+// tracer bound pays exactly one nil pointer comparison per negotiation —
+// and cheap when on (one root + route span and a plan/reserve span per
+// probe/commit, all landing in a fixed-size ring).
+//
+// BenchmarkShardedAdmit (bench_test.go) is the untraced baseline; the
+// acceptance bar is that its ns/op stays within 3% of the numbers
+// recorded in BENCH_fed.json before the auditor existed.
+// BenchmarkShardedAdmitTraced quantifies the opt-in cost.
+
+func benchPlane(b *testing.B, shards int, tr *obs.Tracer) *Arbitrator {
+	b.Helper()
+	plane, err := New(Config{Procs: benchProcs, Shards: shards, ProbeK: 2, Tracer: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plane
+}
+
+func BenchmarkShardedAdmitTraced(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			plane := benchPlane(b, shards, obs.NewTracer(1<<14))
+			admitLoop(b,
+				func(j core.Job) error { _, err := plane.Negotiate(j); return err },
+				plane.Observe)
+		})
+	}
+}
+
+// TestWriteBenchSLO regenerates BENCH_slo.json at the repository root
+// when WRITE_BENCH_SLO=1: the untraced 8-shard admission cost (to
+// compare against BENCH_fed.json's pre-auditor numbers — the <3%
+// regression bar) next to the traced cost and the resulting overhead.
+func TestWriteBenchSLO(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_SLO") == "" {
+		t.Skip("set WRITE_BENCH_SLO=1 to regenerate BENCH_slo.json")
+	}
+	run := func(tr *obs.Tracer) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			plane := benchPlane(b, 8, tr)
+			admitLoop(b,
+				func(j core.Job) error { _, err := plane.Negotiate(j); return err },
+				plane.Observe)
+		})
+		return float64(r.NsPerOp())
+	}
+	var out struct {
+		GoMaxProcs      int     `json:"gomaxprocs"`
+		Procs           int     `json:"pool_procs"`
+		Shards          int     `json:"shards"`
+		UntracedNsPerOp float64 `json:"untraced_ns_per_op"`
+		TracedNsPerOp   float64 `json:"traced_ns_per_op"`
+		TracingOverhead float64 `json:"tracing_overhead"`
+	}
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
+	out.Procs = benchProcs
+	out.Shards = 8
+	out.UntracedNsPerOp = run(nil)
+	out.TracedNsPerOp = run(obs.NewTracer(1 << 14))
+	if out.UntracedNsPerOp > 0 {
+		out.TracingOverhead = out.TracedNsPerOp/out.UntracedNsPerOp - 1
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("../../BENCH_slo.json", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("untraced %.0f ns/op, traced %.0f ns/op, overhead %.1f%%",
+		out.UntracedNsPerOp, out.TracedNsPerOp, 100*out.TracingOverhead)
+}

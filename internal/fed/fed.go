@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"milan/internal/core"
+	"milan/internal/obs"
 	"milan/internal/qos"
 )
 
@@ -61,6 +62,11 @@ type Config struct {
 	// Metrics, if set, receives router and per-shard gauges/counters
 	// (see metrics.go).
 	Metrics *Metrics
+	// Tracer, if set, records route/plan/reserve spans for every traced
+	// negotiation (jobs carrying a core.Job.Trace, or all jobs — the
+	// router mints a root trace for untraced ones).  nil keeps the hot
+	// path span-free: the only cost is one pointer comparison.
+	Tracer *obs.Tracer
 }
 
 // planKey is the cross-shard tie-break key for a planned placement: the
@@ -125,6 +131,7 @@ type Arbitrator struct {
 	observer func(qos.Decision)
 
 	metrics *Metrics
+	tracer  *obs.Tracer
 
 	rebal *Rebalancer // lazily created by Rebalance/AttachBroker
 	rbMu  sync.Mutex
@@ -160,6 +167,7 @@ func New(cfg Config) (*Arbitrator, error) {
 		keepHist: cfg.KeepHistory,
 		observer: cfg.Observer,
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
 	}
 	a.nowBits.Store(floatBits(cfg.Origin))
 	base, rem := cfg.Procs/shards, cfg.Procs%shards
@@ -246,12 +254,41 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 	if err := job.Validate(); err != nil {
 		return nil, fmt.Errorf("fed: negotiate: %w", err)
 	}
+	// Span plumbing: with a tracer bound, the router opens a route span
+	// under the request's root span (minting a root of its own when the
+	// request arrived untraced) plus one plan span per probe and one
+	// reserve span per commit attempt.  With no tracer the only cost on
+	// this hot path is the t != nil comparisons.
+	t := a.tracer
+	var root, route *obs.ActiveSpan
+	if t != nil {
+		if job.Trace == 0 {
+			tr := t.NewTrace()
+			root = t.Start(tr, 0, "fed.negotiate", obs.StageArrival, job.ID)
+			job.Trace, job.Span = uint64(tr), uint64(root.ID())
+		}
+		route = t.Start(obs.TraceID(job.Trace), obs.SpanID(job.Span), "fed.route", obs.StageRoute, job.ID)
+	}
 	cands := a.candidates()
 	probes := make([]probeResult, 0, len(cands))
 	for _, ci := range cands {
 		sh := a.shards[ci]
-		if pl, key, ver, ok := sh.probe(job); ok {
+		var ps *obs.ActiveSpan
+		if t != nil {
+			ps = t.Start(obs.TraceID(job.Trace), route.ID(), "fed.probe", obs.StagePlan, job.ID)
+			ps.SetAttr("shard", float64(sh.ID()))
+		}
+		pl, key, ver, ok := sh.probe(job)
+		if ok {
 			probes = append(probes, probeResult{shard: sh, pl: pl, key: key, ver: ver})
+		}
+		if t != nil {
+			if ok {
+				ps.SetAttr("finish", key.finish)
+			} else {
+				ps.SetErr("infeasible")
+			}
+			ps.End()
 		}
 	}
 	if a.metrics != nil {
@@ -263,6 +300,12 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 		// probed shard already counted its own planning work).
 		a.shards[cands[0]].noteRejected(job)
 		a.finishReject(job)
+		if t != nil {
+			route.SetErr("rejected")
+			route.End()
+			root.SetErr("rejected")
+			root.End()
+		}
 		return nil, qos.ErrRejected
 	}
 	// Order probes best-first: stable insertion on strict betterKey, so
@@ -275,14 +318,27 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 	}
 	var lastErr error
 	for i, pr := range probes {
+		var rs *obs.ActiveSpan
+		if t != nil {
+			rs = t.Start(obs.TraceID(job.Trace), route.ID(), "fed.commit", obs.StageReserve, job.ID)
+			rs.SetAttr("shard", float64(pr.shard.ID()))
+			rs.SetAttr("rank", float64(i))
+		}
 		pl, raced, err := pr.shard.commitPlanned(job, pr.pl, pr.ver)
-		if raced && a.metrics != nil {
-			a.metrics.CommitRaces.Add(1)
+		if raced {
+			if a.metrics != nil {
+				a.metrics.CommitRaces.Add(1)
+			}
+			rs.SetAttr("raced", 1)
 		}
 		if err != nil {
 			// The capacity the probe saw is gone; the raced re-admission
 			// already recorded the rejection on that shard.  Try the next
 			// best probe.
+			if t != nil {
+				rs.SetErr("commit-race")
+				rs.End()
+			}
 			lastErr = err
 			continue
 		}
@@ -291,11 +347,25 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 			Chain:     pl.Chain,
 			Quality:   job.Chains[pl.Chain].Quality,
 			Placement: *pl,
+			Trace:     job.Trace,
+		}
+		if t != nil {
+			rs.SetAttr("start", pl.Start())
+			rs.SetAttr("finish", pl.Finish())
+			rs.End()
+			route.End()
+			root.End()
 		}
 		a.finishAdmit(job, g, pr.shard, i)
 		return g, nil
 	}
 	a.finishReject(job)
+	if t != nil {
+		route.SetErr("rejected")
+		route.End()
+		root.SetErr("rejected")
+		root.End()
+	}
 	if lastErr != nil && !errors.Is(lastErr, core.ErrRejected) {
 		return nil, lastErr
 	}

@@ -13,9 +13,10 @@ import (
 // (threads = processors), the Calypso runtime (threads = workers) and the
 // instantaneous decision events.
 const (
-	PIDSchedule = 1
-	PIDCalypso  = 2
-	PIDEvents   = 3
+	PIDSchedule  = 1
+	PIDCalypso   = 2
+	PIDEvents    = 3
+	PIDAdmission = 4 // span-propagated request traces (threads = trace IDs)
 )
 
 // ChromeEvent is one entry of the Chrome trace-event format
@@ -172,6 +173,45 @@ func (c *ChromeTrace) AddTraceEvents(evs []Event) {
 	}
 }
 
+// AddSpanRecs appends completed request spans (span.go) on the admission
+// process, one thread per trace, so a request's route/plan/reserve/run
+// lifecycle reads as a per-trace lane in chrome://tracing.  Zero-duration
+// spans are widened to a visible sliver.
+func (c *ChromeTrace) AddSpanRecs(recs []SpanRec) {
+	if len(recs) == 0 {
+		return
+	}
+	c.meta("process_name", PIDAdmission, 0, "admission traces")
+	named := make(map[TraceID]bool)
+	for _, r := range recs {
+		if r.Trace == 0 {
+			continue
+		}
+		if !named[r.Trace] {
+			named[r.Trace] = true
+			c.meta("thread_name", PIDAdmission, int(r.Trace), fmt.Sprintf("trace%d", r.Trace))
+		}
+		dur := (r.End - r.Start) * 1e6
+		if dur <= 0 {
+			dur = 1 // 1us sliver so instant spans stay visible
+		}
+		args := map[string]interface{}{
+			"stage": r.Stage, "span": r.ID, "parent": r.Parent, "job": r.Job,
+		}
+		if r.Err != "" {
+			args["err"] = r.Err
+		}
+		for k, v := range r.Attrs {
+			args[k] = v
+		}
+		c.Add(ChromeEvent{
+			Name: r.Name, Cat: r.Stage, Ph: "X",
+			Ts: r.Start * 1e6, Dur: dur,
+			Pid: PIDAdmission, Tid: int(r.Trace), Args: args,
+		})
+	}
+}
+
 // WriteTo writes the trace as a chrome://tracing-loadable JSON object,
 // events sorted by timestamp (metadata first).
 func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
@@ -261,6 +301,7 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		})
 	}
 	ct.AddTraceEvents(o.Events())
+	ct.AddSpanRecs(o.tracer.Spans()) // nil-safe: empty without tracing
 	_, err := ct.WriteTo(w)
 	return err
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 )
@@ -10,12 +11,16 @@ import (
 //
 //	/metrics  expvar-style JSON snapshot of the metrics registry
 //	/trace    recent ring-buffer events as JSON (?n=K limits the count)
+//	/spans    completed request spans as JSON (empty without tracing)
 //	/gantt    chrome://tracing-loadable JSON of the collected schedule,
-//	          worker timelines and decision events
+//	          worker timelines, decision events and request span trees
+//	/healthz  liveness + registered readiness checks (health.go)
 //	/         a tiny index
 //
-// Mount it on any mux or serve it directly (qosnet.Server.EnableDebug and
-// junctiond -debug-addr do exactly that).
+// Extensions mounted via Handle (e.g. the SLO engine's /slo) are
+// dispatched dynamically: they may be added before or after Handler() is
+// called.  Mount it on any mux or serve it directly
+// (qosnet.Server.EnableDebug and junctiond -debug-addr do exactly that).
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -24,7 +29,29 @@ func (o *Observer) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("milan debug endpoint\n\n/metrics  registry snapshot (JSON)\n/trace    recent trace events (JSON, ?n=K)\n/gantt    chrome://tracing schedule download\n"))
+		w.Write([]byte("milan debug endpoint\n\n/metrics  registry snapshot (JSON)\n/trace    recent trace events (JSON, ?n=K)\n/spans    completed request spans (JSON)\n/gantt    chrome://tracing schedule download\n/healthz  liveness + readiness checks\n"))
+		for _, p := range o.extraRoutes() {
+			help := ""
+			o.webMu.Lock()
+			if r, ok := o.extra[p]; ok {
+				help = r.help
+			}
+			o.webMu.Unlock()
+			fmt.Fprintf(w, "%-9s %s\n", p, help)
+		}
+	})
+	mux.HandleFunc("/healthz", o.healthz)
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := o.tracer.Spans() // nil-safe
+		if spans == nil {
+			spans = []SpanRec{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -60,5 +87,11 @@ func (o *Observer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := o.lookupExtra(r.URL.Path); ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }

@@ -31,6 +31,15 @@ type Config struct {
 	// Registry, if non-nil, is used instead of a fresh one (sharing one
 	// registry across several observers).
 	Registry *Registry
+	// Tracing enables span-propagated request tracing: the observer owns
+	// a Tracer (see span.go) whose clock follows the observer's, and the
+	// scheduler hooks open/close plan-stage spans for traced jobs.  Off
+	// by default; when off, Tracer() returns nil and every span call
+	// no-ops on the nil receiver.
+	Tracing bool
+	// SpanRingSize is the tracer's completed-span ring capacity (0 means
+	// 8192).  Ignored unless Tracing.
+	SpanRingSize int
 }
 
 // Observer ties the metrics registry and the trace sinks together and
@@ -51,6 +60,20 @@ type Observer struct {
 	capacity   int
 	spans      []Span
 	admitAt    time.Time
+
+	// tracer is non-nil iff Config.Tracing; planSpans tracks the open
+	// plan-stage span per trace for the monolithic admission path (the
+	// scheduler hooks open it at AdmitStart and close it at
+	// Committed/Rejected).
+	tracer    *Tracer
+	planSpans map[TraceID]*ActiveSpan
+
+	// Debug-endpoint extensions (http.go / health.go): extra mounted
+	// handlers (e.g. the SLO engine's /slo) and the named liveness /
+	// readiness checks served by /healthz.
+	webMu  sync.Mutex
+	extra  map[string]extraRoute
+	checks []healthCheck
 }
 
 // New returns an Observer with the given configuration.
@@ -62,7 +85,7 @@ func New(cfg Config) *Observer {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	return &Observer{
+	o := &Observer{
 		Reg:      reg,
 		ring:     NewRingSink(cfg.RingSize),
 		sink:     cfg.Sink,
@@ -71,7 +94,17 @@ func New(cfg Config) *Observer {
 		keepPl:   cfg.KeepPlacements,
 		capacity: cfg.Capacity,
 	}
+	if cfg.Tracing {
+		o.tracer = NewTracer(cfg.SpanRingSize)
+		o.tracer.SetClock(cfg.Clock)
+		o.planSpans = make(map[TraceID]*ActiveSpan)
+	}
+	return o
 }
+
+// Tracer returns the observer's span tracer, or nil when tracing is
+// disabled (a nil *Tracer is a valid no-op receiver everywhere).
+func (o *Observer) Tracer() *Tracer { return o.tracer }
 
 // SetClock rebinds the observer's timestamp source (e.g. a sim engine's
 // Now method) so events carry simulation time instead of wall time.
@@ -79,6 +112,7 @@ func (o *Observer) SetClock(clock func() float64) {
 	o.mu.Lock()
 	o.clock = clock
 	o.mu.Unlock()
+	o.tracer.SetClock(clock) // nil-safe
 }
 
 // SetCapacity records the machine size used by the Chrome-trace schedule
@@ -182,13 +216,15 @@ func (o *Observer) SchedulerHooks() *core.Hooks {
 			o.mu.Lock()
 			o.admitAt = time.Now()
 			o.mu.Unlock()
-			o.Emit(Event{Type: EvAdmitStart, Job: job.ID, Attrs: map[string]float64{
-				"chains": float64(len(job.Chains)), "release": job.Release,
-			}})
+			o.openPlanSpan(job)
+			o.Emit(Event{Type: EvAdmitStart, Job: job.ID, Trace: job.Trace, Span: job.Span,
+				Attrs: map[string]float64{
+					"chains": float64(len(job.Chains)), "release": job.Release,
+				}})
 		},
 		ChainTried: func(job *core.Job, chain int, ok bool, finish float64) {
 			chains.Inc()
-			ev := Event{Type: EvChainTried, Job: job.ID, Chain: chain}
+			ev := Event{Type: EvChainTried, Job: job.ID, Chain: chain, Trace: job.Trace, Span: job.Span}
 			if ok {
 				ev.Attrs = map[string]float64{"ok": 1, "finish": finish}
 			} else {
@@ -198,12 +234,12 @@ func (o *Observer) SchedulerHooks() *core.Hooks {
 		},
 		HolesProbed: func(job *core.Job, chain, n int) {
 			probes.Add(int64(n))
-			o.Emit(Event{Type: EvHolesProbed, Job: job.ID, Chain: chain,
+			o.Emit(Event{Type: EvHolesProbed, Job: job.ID, Chain: chain, Trace: job.Trace, Span: job.Span,
 				Attrs: map[string]float64{"probes": float64(n)}})
 		},
 		TieBreak: func(job *core.Job, winner, over int) {
 			ties.Inc()
-			o.Emit(Event{Type: EvTieBreak, Job: job.ID, Chain: winner,
+			o.Emit(Event{Type: EvTieBreak, Job: job.ID, Chain: winner, Trace: job.Trace, Span: job.Span,
 				Attrs: map[string]float64{"over": float64(over)}})
 		},
 		Committed: func(job *core.Job, pl *core.Placement) {
@@ -220,10 +256,16 @@ func (o *Observer) SchedulerHooks() *core.Hooks {
 			if !began.IsZero() {
 				latency.Observe(time.Since(began).Seconds())
 			}
-			o.Emit(Event{Type: EvCommitted, Job: job.ID, Chain: pl.Chain, Attrs: map[string]float64{
-				"start": pl.Start(), "finish": pl.Finish(), "area": pl.Area(),
-				"quality": job.Chains[pl.Chain].Quality,
-			}})
+			o.closePlanSpan(job, func(s *ActiveSpan) {
+				s.SetAttr("chain", float64(pl.Chain))
+				s.SetAttr("start", pl.Start())
+				s.SetAttr("finish", pl.Finish())
+			})
+			o.Emit(Event{Type: EvCommitted, Job: job.ID, Chain: pl.Chain, Trace: job.Trace, Span: job.Span,
+				Attrs: map[string]float64{
+					"start": pl.Start(), "finish": pl.Finish(), "area": pl.Area(),
+					"quality": job.Chains[pl.Chain].Quality,
+				}})
 		},
 		Rejected: func(job *core.Job, reason string) {
 			rejected.Inc()
@@ -233,12 +275,53 @@ func (o *Observer) SchedulerHooks() *core.Hooks {
 			if !began.IsZero() {
 				latency.Observe(time.Since(began).Seconds())
 			}
-			o.Emit(Event{Type: EvRejected, Job: job.ID, Reason: reason})
+			o.closePlanSpan(job, func(s *ActiveSpan) { s.SetErr(reason) })
+			o.Emit(Event{Type: EvRejected, Job: job.ID, Reason: reason, Trace: job.Trace, Span: job.Span})
 		},
 		PlanFailure: func(job *core.Job) {
 			failures.Inc()
 		},
 	}
+}
+
+// openPlanSpan starts the plan-stage span for a traced job entering the
+// monolithic admission path (core.Scheduler.Admit fires AdmitStart only on
+// that path; the federated router creates its own plan spans per probe).
+// No-op without tracing or for untraced jobs.
+func (o *Observer) openPlanSpan(job *core.Job) {
+	t := o.tracer
+	if t == nil || job.Trace == 0 {
+		return
+	}
+	s := t.Start(TraceID(job.Trace), SpanID(job.Span), "sched.plan", StagePlan, job.ID)
+	o.mu.Lock()
+	if prev, ok := o.planSpans[TraceID(job.Trace)]; ok {
+		prev.End() // stray open span for this trace: close it defensively
+	}
+	o.planSpans[TraceID(job.Trace)] = s
+	o.mu.Unlock()
+}
+
+// closePlanSpan ends a traced job's open plan span, letting fn annotate it
+// first.  No-op without tracing, for untraced jobs, or when no span is
+// open for the trace.
+func (o *Observer) closePlanSpan(job *core.Job, fn func(*ActiveSpan)) {
+	if o.tracer == nil || job.Trace == 0 {
+		return
+	}
+	o.mu.Lock()
+	s, ok := o.planSpans[TraceID(job.Trace)]
+	if ok {
+		delete(o.planSpans, TraceID(job.Trace))
+	}
+	o.mu.Unlock()
+	if !ok {
+		return
+	}
+	if fn != nil {
+		fn(s)
+	}
+	s.End()
 }
 
 // InstrumentOptions returns a copy of opts (or fresh zero Options when opts

@@ -1,0 +1,66 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"milan/internal/obs"
+)
+
+// Handler serves the engine's conformance report as JSON.  ?tick=1 first
+// advances the windows to the engine clock position implied by the query
+// parameter now (a float, optional) — useful when no periodic Tick runs.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s := r.URL.Query().Get("now"); s != "" {
+			if now, err := strconv.ParseFloat(s, 64); err == nil {
+				e.Tick(now)
+			} else {
+				http.Error(w, "bad now parameter", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e.Report()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Mount attaches the engine (and its flight recorder, when present) to an
+// observer's debug endpoint:
+//
+//	/slo     the conformance report (JSON)
+//	/flight  the most recent flight-recorder snapshot (JSONL download)
+//
+// and registers an "slo" health check that fails while the hard invariant
+// is violated, so /healthz surfaces deadline misses.
+func (e *Engine) Mount(o *obs.Observer) {
+	if e == nil || o == nil {
+		return
+	}
+	o.Handle("/slo", e.Handler(), "SLO conformance report (JSON)")
+	if rec := e.opts.Recorder; rec != nil {
+		o.Handle("/flight", rec.Handler(), "latest flight-recorder snapshot (JSONL)")
+	}
+	o.AddHealthCheck("slo", func() error {
+		r := e.Report()
+		if !r.Conformant() {
+			return &violationError{misses: r.DeadlineMisses, over: r.OverAdmissions}
+		}
+		return nil
+	})
+}
+
+// violationError reports the hard-invariant breach through /healthz.
+type violationError struct {
+	misses, over int64
+}
+
+func (v *violationError) Error() string {
+	return "slo violated: " + strconv.FormatInt(v.misses, 10) + " deadline misses, " +
+		strconv.FormatInt(v.over, 10) + " over-admissions"
+}

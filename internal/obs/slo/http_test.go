@@ -1,0 +1,93 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"milan/internal/obs"
+)
+
+func TestEngineHandlerServesReport(t *testing.T) {
+	e := New(Options{})
+	e.JobAdmitted(1, 1, 0, 1e-3, 10, 9)
+	rw := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/slo", nil))
+	if rw.Code != 200 {
+		t.Fatalf("status %d", rw.Code)
+	}
+	var r Report
+	if err := json.Unmarshal(rw.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Admitted != 1 || r.InFlight != 1 {
+		t.Fatalf("report: %+v", r)
+	}
+
+	// ?now ticks the windows first; a bad value is a 400.
+	rw = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/slo?now=5.5", nil))
+	if rw.Code != 200 {
+		t.Fatalf("?now status %d", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/slo?now=bogus", nil))
+	if rw.Code != 400 {
+		t.Fatalf("bad ?now status %d", rw.Code)
+	}
+}
+
+func TestMountOnObserver(t *testing.T) {
+	o := obs.New(obs.Config{Tracing: true})
+	rec := NewRecorder(16, 16)
+	e := New(Options{Registry: o.Reg, Recorder: rec})
+	e.Mount(o)
+	h := o.Handler()
+
+	// /slo serves the report.
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/slo", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), "deadline_misses") {
+		t.Fatalf("/slo: %d %s", rw.Code, rw.Body.String())
+	}
+
+	// /flight 404s until a snapshot is cut, then serves it.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/flight", nil))
+	if rw.Code != 404 {
+		t.Fatalf("/flight before snapshot: %d", rw.Code)
+	}
+	rec.Trigger(TriggerManual, 0, 1, "op snap")
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/flight", nil))
+	if rw.Code != 200 {
+		t.Fatalf("/flight after snapshot: %d", rw.Code)
+	}
+
+	// /healthz is ok while conformant…
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/healthz", nil))
+	if rw.Code != 200 {
+		t.Fatalf("/healthz conformant: %d %s", rw.Code, rw.Body.String())
+	}
+	// …and 503 once the hard invariant breaks.
+	e.JobAdmitted(1, 1, 0, 1e-3, 10, 9)
+	e.JobCompleted(1, 11)
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/healthz", nil))
+	if rw.Code != 503 || !strings.Contains(rw.Body.String(), "slo violated") {
+		t.Fatalf("/healthz violated: %d %s", rw.Code, rw.Body.String())
+	}
+
+	// The index lists the mounted routes.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rw.Body.String(), "/slo") || !strings.Contains(rw.Body.String(), "/flight") {
+		t.Fatalf("index missing mounted routes:\n%s", rw.Body.String())
+	}
+
+	// Mount on nil is a no-op.
+	e.Mount(nil)
+	(*Engine)(nil).Mount(o)
+}

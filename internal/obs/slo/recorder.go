@@ -1,0 +1,318 @@
+package slo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"milan/internal/obs"
+)
+
+// TriggerKind names the anomaly that cut a flight-recorder snapshot.
+type TriggerKind string
+
+const (
+	// TriggerDeadlineMiss: an admitted job finished past its deadline —
+	// the hard invariant broke.
+	TriggerDeadlineMiss TriggerKind = "deadline-miss"
+	// TriggerOverAdmission: admission produced a reservation already
+	// past the job's deadline (planner fault by construction).
+	TriggerOverAdmission TriggerKind = "over-admission"
+	// TriggerCommitRaceSpike: optimistic-commit fallbacks crossed the
+	// short-window threshold (router contention).
+	TriggerCommitRaceSpike TriggerKind = "commit-race-spike"
+	// TriggerRebalanceStorm: processor migrations crossed the
+	// short-window threshold (rebalancer thrash).
+	TriggerRebalanceStorm TriggerKind = "rebalance-storm"
+	// TriggerManual: an operator-requested snapshot.
+	TriggerManual TriggerKind = "manual"
+)
+
+// Snapshot is one self-contained flight-recorder dump: the trigger plus
+// every span and decision event the recorder's rings held at cut time.
+// It serializes to JSONL (one header line, then one line per span and
+// event) and round-trips through DecodeSnapshot, so a snapshot written in
+// production replays anywhere.
+type Snapshot struct {
+	Version int         `json:"v"`
+	Kind    TriggerKind `json:"kind"`
+	Trace   uint64      `json:"trace,omitempty"`
+	At      float64     `json:"at"`
+	Note    string      `json:"note,omitempty"`
+
+	Spans  []obs.SpanRec `json:"-"`
+	Events []obs.Event   `json:"-"`
+}
+
+// snapshotVersion is the JSONL format version written by WriteJSONL.
+const snapshotVersion = 1
+
+// snapLine is one non-header JSONL line: exactly one of Span/Event set.
+type snapLine struct {
+	Span  *obs.SpanRec `json:"span,omitempty"`
+	Event *obs.Event   `json:"event,omitempty"`
+}
+
+// WriteJSONL writes the snapshot as JSON lines: the header (the exported
+// Snapshot fields), then spans, then events.
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("slo: snapshot header: %w", err)
+	}
+	for i := range s.Spans {
+		if err := enc.Encode(snapLine{Span: &s.Spans[i]}); err != nil {
+			return fmt.Errorf("slo: snapshot span: %w", err)
+		}
+	}
+	for i := range s.Events {
+		if err := enc.Encode(snapLine{Event: &s.Events[i]}); err != nil {
+			return fmt.Errorf("slo: snapshot event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSnapshot reads a JSONL snapshot back (the round-trip of
+// WriteJSONL).  Blank lines are skipped; unknown versions and malformed
+// lines are errors.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var snap *Snapshot
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if snap == nil {
+			var s Snapshot
+			if err := json.Unmarshal(b, &s); err != nil {
+				return nil, fmt.Errorf("slo: snapshot line %d: %w", line, err)
+			}
+			if s.Version != snapshotVersion {
+				return nil, fmt.Errorf("slo: snapshot version %d (want %d)", s.Version, snapshotVersion)
+			}
+			if s.Kind == "" {
+				return nil, fmt.Errorf("slo: snapshot line %d: missing trigger kind", line)
+			}
+			snap = &s
+			continue
+		}
+		var l snapLine
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, fmt.Errorf("slo: snapshot line %d: %w", line, err)
+		}
+		switch {
+		case l.Span != nil:
+			snap.Spans = append(snap.Spans, *l.Span)
+		case l.Event != nil:
+			snap.Events = append(snap.Events, *l.Event)
+		default:
+			return nil, fmt.Errorf("slo: snapshot line %d: neither span nor event", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("slo: snapshot: %w", err)
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("slo: empty snapshot")
+	}
+	return snap, nil
+}
+
+// Recorder is the anomaly-triggered flight recorder: bounded rings of
+// recent completed spans and decision events, frozen into Snapshots by
+// Trigger.  It implements obs.TraceSink (events) and plugs into a
+// Tracer via Attach (spans).  All methods are safe for concurrent use
+// and safe on a nil receiver.
+type Recorder struct {
+	mu       sync.Mutex
+	spans    []obs.SpanRec
+	spanNext int
+	events   []obs.Event
+	evNext   int
+	snaps    []*Snapshot
+	maxSnaps int
+	triggers int64
+	// cooldown suppresses a second snapshot for the same trigger kind
+	// within this many clock units of the previous one (0 = none).
+	cooldown float64
+	lastCut  map[TriggerKind]float64
+}
+
+// NewRecorder returns a recorder retaining up to spanCap spans and
+// eventCap events (values < 1 mean 4096), and at most 16 snapshots.
+func NewRecorder(spanCap, eventCap int) *Recorder {
+	if spanCap < 1 {
+		spanCap = 4096
+	}
+	if eventCap < 1 {
+		eventCap = 4096
+	}
+	return &Recorder{
+		spans:    make([]obs.SpanRec, 0, spanCap),
+		events:   make([]obs.Event, 0, eventCap),
+		maxSnaps: 16,
+		lastCut:  make(map[TriggerKind]float64),
+	}
+}
+
+// SetCooldown suppresses repeat snapshots of the same trigger kind within
+// d clock units (e.g. one deadline-miss dump per minute, not one per
+// missed job in a burst).
+func (r *Recorder) SetCooldown(d float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cooldown = d
+	r.mu.Unlock()
+}
+
+// Attach installs the recorder on a tracer: every completed span lands in
+// the span ring.
+func (r *Recorder) Attach(t *obs.Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	t.OnEnd(r.RecordSpan)
+}
+
+// RecordSpan adds one completed span to the ring (the Tracer.OnEnd sink).
+func (r *Recorder) RecordSpan(rec obs.SpanRec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.spans[r.spanNext] = rec
+	}
+	r.spanNext = (r.spanNext + 1) % cap(r.spans)
+	r.mu.Unlock()
+}
+
+// Emit adds one decision event to the ring (the obs.TraceSink surface —
+// pass the recorder as obs.Config.Sink, or inside an obs.MultiSink).
+func (r *Recorder) Emit(ev obs.Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, ev)
+	} else {
+		r.events[r.evNext] = ev
+	}
+	r.evNext = (r.evNext + 1) % cap(r.events)
+	r.mu.Unlock()
+}
+
+// ringCopy returns ring contents oldest-first.
+func ringCopy[T any](buf []T, next int) []T {
+	if len(buf) < cap(buf) {
+		return append([]T(nil), buf...)
+	}
+	out := make([]T, 0, len(buf))
+	out = append(out, buf[next:]...)
+	out = append(out, buf[:next]...)
+	return out
+}
+
+// Trigger freezes the rings into a snapshot for the given anomaly.
+// Returns nil on a nil recorder or when suppressed by the cooldown.
+func (r *Recorder) Trigger(kind TriggerKind, trace uint64, now float64, note string) *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.cooldown > 0 {
+		if last, ok := r.lastCut[kind]; ok && now-last < r.cooldown && now >= last {
+			r.mu.Unlock()
+			return nil
+		}
+	}
+	r.lastCut[kind] = now
+	r.triggers++
+	snap := &Snapshot{
+		Version: snapshotVersion,
+		Kind:    kind,
+		Trace:   trace,
+		At:      now,
+		Note:    note,
+		Spans:   ringCopy(r.spans, r.spanNext),
+		Events:  ringCopy(r.events, r.evNext),
+	}
+	r.snaps = append(r.snaps, snap)
+	if len(r.snaps) > r.maxSnaps {
+		r.snaps = r.snaps[len(r.snaps)-r.maxSnaps:]
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// Snapshots returns the retained snapshots, oldest first.
+func (r *Recorder) Snapshots() []*Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Snapshot(nil), r.snaps...)
+}
+
+// Last returns the most recent snapshot, or nil.
+func (r *Recorder) Last() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.snaps) == 0 {
+		return nil
+	}
+	return r.snaps[len(r.snaps)-1]
+}
+
+// Len returns how many snapshots are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.snaps)
+}
+
+// Triggers returns how many snapshots were ever cut (including ones since
+// evicted by the retention bound).
+func (r *Recorder) Triggers() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.triggers
+}
+
+// Handler serves the latest snapshot as a JSONL download (404 when none).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Last()
+		if snap == nil {
+			http.Error(w, "no flight-recorder snapshot", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight.jsonl"`)
+		snap.WriteJSONL(w)
+	})
+}

@@ -1,0 +1,165 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"milan/internal/obs"
+)
+
+// missSnapshot builds a deadline-miss snapshot whose run span carries the
+// given deadline/reservedFinish/actualFinish, with optional race scars on
+// the reserve span.
+func missSnapshot(deadline, reservedFinish, actualFinish float64, raced bool) *Snapshot {
+	reserve := obs.SpanRec{Trace: 7, ID: 3, Parent: 1, Name: "fed.commit", Stage: obs.StageReserve,
+		Job: 9, Start: 0.2, End: 0.3,
+		Attrs: map[string]float64{"finish": reservedFinish}}
+	if raced {
+		reserve.Attrs["raced"] = 1
+	}
+	return &Snapshot{
+		Version: snapshotVersion,
+		Kind:    TriggerDeadlineMiss,
+		Trace:   7,
+		At:      actualFinish,
+		Spans: []obs.SpanRec{
+			{Trace: 7, ID: 1, Name: "fed.negotiate", Stage: obs.StageArrival, Job: 9, Start: 0, End: 0.3},
+			{Trace: 7, ID: 2, Parent: 1, Name: "fed.probe", Stage: obs.StagePlan, Job: 9, Start: 0.1, End: 0.2,
+				Attrs: map[string]float64{"finish": reservedFinish}},
+			reserve,
+			{Trace: 7, ID: 4, Parent: 1, Name: "job.run", Stage: obs.StageRun, Job: 9,
+				Start: 0.3, End: actualFinish,
+				Attrs: map[string]float64{"deadline": deadline, "reserved_finish": reservedFinish}},
+		},
+	}
+}
+
+func TestReplayLocalizesRuntime(t *testing.T) {
+	// Reservation met the deadline; execution overran it.
+	s := missSnapshot(10, 9.5, 10.4, false)
+	v := Replay(s)
+	if v.Fault != FaultRuntime || v.Stage != obs.StageRun {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v.Deadline != 10 || v.ReservedFinish != 9.5 || v.ActualFinish != 10.4 {
+		t.Fatalf("reconstructed numbers wrong: %+v", v)
+	}
+	if v.Spans != 4 {
+		t.Fatalf("spans counted = %d, want 4", v.Spans)
+	}
+}
+
+func TestReplayLocalizesPlanner(t *testing.T) {
+	// Reservation itself was past the deadline: the miss was decided at
+	// admission time.
+	s := missSnapshot(10, 10.6, 10.6, false)
+	v := Replay(s)
+	if v.Fault != FaultPlanner || v.Stage != obs.StagePlan {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestReplayLocalizesRouter(t *testing.T) {
+	// Numbers alone don't convict planner or runtime, but the reserve span
+	// shows a commit race.
+	s := missSnapshot(10, 9.5, 9.4, true)
+	// Force "actual <= reserved" so the runtime rule doesn't fire, and
+	// deadline-miss kind with finish numbers that don't implicate anyone.
+	v := Replay(s)
+	if v.Fault != FaultRouter || v.Stage != obs.StageReserve {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestReplayOverAdmissionIsPlanner(t *testing.T) {
+	s := missSnapshot(10, 10.6, 0, false)
+	s.Kind = TriggerOverAdmission
+	v := Replay(s)
+	if v.Fault != FaultPlanner {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestReplayAggregateKinds(t *testing.T) {
+	if v := Replay(&Snapshot{Version: 1, Kind: TriggerRebalanceStorm}); v.Fault != FaultRebalancer {
+		t.Fatalf("storm verdict: %+v", v)
+	}
+	if v := Replay(&Snapshot{Version: 1, Kind: TriggerCommitRaceSpike}); v.Fault != FaultRouter {
+		t.Fatalf("spike verdict: %+v", v)
+	}
+	if v := Replay(&Snapshot{Version: 1, Kind: TriggerManual}); v.Fault != FaultUnknown {
+		t.Fatalf("manual verdict: %+v", v)
+	}
+	if v := Replay(nil); v.Fault != FaultUnknown {
+		t.Fatalf("nil verdict: %+v", v)
+	}
+}
+
+func TestReplayFallbackAttrs(t *testing.T) {
+	// No run span at all (evicted from the ring): deadline/reserved come
+	// from the reserve span's attrs; planner still convicted when the
+	// reservation was past the deadline.
+	s := &Snapshot{
+		Version: snapshotVersion, Kind: TriggerDeadlineMiss, Trace: 2, At: 11,
+		Spans: []obs.SpanRec{
+			{Trace: 2, ID: 1, Name: "fed.negotiate", Stage: obs.StageArrival, Job: 1, Start: 0, End: 0.3},
+			{Trace: 2, ID: 2, Parent: 1, Name: "fed.commit", Stage: obs.StageReserve, Job: 1,
+				Start: 0.1, End: 0.2,
+				Attrs: map[string]float64{"deadline": 10, "finish": 10.8}},
+		},
+	}
+	v := Replay(s)
+	if v.Fault != FaultPlanner {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v.ReservedFinish != 10.8 || v.Deadline != 10 {
+		t.Fatalf("fallback attrs not used: %+v", v)
+	}
+}
+
+func TestReplayUnknownWithoutEvidence(t *testing.T) {
+	s := &Snapshot{Version: snapshotVersion, Kind: TriggerDeadlineMiss, Trace: 99, At: 5}
+	v := Replay(s)
+	if v.Fault != FaultUnknown {
+		t.Fatalf("verdict without spans: %+v", v)
+	}
+}
+
+func TestWriteReplayRendersTreeAndEvents(t *testing.T) {
+	s := missSnapshot(10, 9.5, 10.4, false)
+	s.Events = []obs.Event{
+		{Time: 0.15, Type: obs.EvCommitted, Job: 9, Trace: 7},
+		{Time: 10.4, Type: obs.EvStepDone, Job: 9, Trace: 7},
+	}
+	var sb strings.Builder
+	if err := WriteReplay(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fault=runtime", "trace 7:", "fed.negotiate", "job.run", "reserved_finish=9.5",
+		"decision events", "Committed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerdictRoundTripsThroughJSONL(t *testing.T) {
+	// A snapshot written in one process must replay identically after a
+	// JSONL round trip — the production debugging workflow.
+	s := missSnapshot(10, 9.5, 10.4, false)
+	var sb strings.Builder
+	if err := s.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := Replay(s), Replay(got)
+	if v1 != v2 {
+		t.Fatalf("replay diverged after round trip:\n%+v\n%+v", v1, v2)
+	}
+}

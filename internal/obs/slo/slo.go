@@ -1,0 +1,624 @@
+// Package slo is the predictability auditor: it continuously verifies the
+// paper's central promise — every admitted configuration carries a
+// reservation that guarantees its deadline (Sections 3, 5.2) — against
+// what the runtime actually does.
+//
+// Three pieces:
+//
+//   - Engine (this file): streaming SLO accounting.  Deadline conformance
+//     is a hard invariant (error budget zero — any admitted job finishing
+//     past its deadline is a violation); admission latency and
+//     utilization are soft objectives tracked with multi-window burn
+//     rates in the SRE style (alert when both the short and the long
+//     window burn their error budget faster than a threshold).
+//   - Recorder (recorder.go): an anomaly-triggered flight recorder
+//     holding bounded rings of recent spans and decision events, dumped
+//     to a self-contained JSONL snapshot on deadline misses,
+//     over-admissions, commit-race spikes and rebalance storms.
+//   - Replay (replay.go): differential replay of a snapshot that
+//     localizes the violation to planner, router, rebalancer or runtime.
+//
+// All timestamps are in the caller's clock domain (simulation seconds in
+// the experiment loop, wall seconds since start in a live server);
+// admission latencies are always wall seconds.  The engine tolerates the
+// clock restarting at zero — a new sweep point — by resetting its
+// windows.
+package slo
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"milan/internal/obs"
+)
+
+// Metric names published to the registry.
+const (
+	MetricAdmitted         = "slo_admitted"
+	MetricRejected         = "slo_rejected"
+	MetricCompleted        = "slo_completed"
+	MetricInFlight         = "slo_inflight"
+	MetricDeadlineMisses   = "slo_deadline_misses"
+	MetricOverAdmissions   = "slo_over_admissions"
+	MetricAlerts           = "slo_alerts"
+	MetricLatency          = "slo_admit_latency_seconds"
+	MetricLatencyBurnShort = "slo_latency_burn_short"
+	MetricLatencyBurnLong  = "slo_latency_burn_long"
+	MetricUtilBurnShort    = "slo_util_burn_short"
+	MetricUtilBurnLong     = "slo_util_burn_long"
+)
+
+// eps is the deadline-comparison tolerance, matching the scheduler's
+// epsilon discipline: a finish within eps of the deadline conforms.
+const eps = 1e-9
+
+// Options configures an Engine.  The zero value selects the documented
+// defaults.
+type Options struct {
+	// ShortWindow and LongWindow are the two burn-rate windows, in the
+	// engine's clock domain (defaults 60 and 600).  Buckets is the
+	// sliding-window resolution per window (default 30).
+	ShortWindow float64
+	LongWindow  float64
+	Buckets     int
+
+	// LatencyTarget is the admission-latency objective in wall seconds
+	// (default 5ms); LatencyBudget is the tolerated fraction of requests
+	// over target (default 0.01).
+	LatencyTarget float64
+	LatencyBudget float64
+
+	// UtilTarget, when positive, turns on the utilization objective:
+	// each ObserveUtilization sample below the target consumes error
+	// budget.  UtilBudget is the tolerated fraction of low samples
+	// (default 0.1).
+	UtilTarget float64
+	UtilBudget float64
+
+	// BurnThreshold is the burn-rate multiple that, sustained on both
+	// windows, raises an alert (default 2: burning the error budget at
+	// twice the sustainable rate).
+	BurnThreshold float64
+
+	// RaceSpikeThreshold and StormThreshold are the commit-race and
+	// rebalancer-migration counts within the short window that trigger
+	// the flight recorder (defaults 16 each).
+	RaceSpikeThreshold int64
+	StormThreshold     int64
+
+	// Registry receives the slo_* metrics; nil creates a private one.
+	Registry *obs.Registry
+	// Recorder, if set, is triggered on violations and anomalies.
+	Recorder *Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShortWindow <= 0 {
+		o.ShortWindow = 60
+	}
+	if o.LongWindow <= o.ShortWindow {
+		o.LongWindow = 10 * o.ShortWindow
+	}
+	if o.Buckets < 2 {
+		o.Buckets = 30
+	}
+	if o.LatencyTarget <= 0 {
+		o.LatencyTarget = 5e-3
+	}
+	if o.LatencyBudget <= 0 {
+		o.LatencyBudget = 0.01
+	}
+	if o.UtilBudget <= 0 {
+		o.UtilBudget = 0.1
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 2
+	}
+	if o.RaceSpikeThreshold <= 0 {
+		o.RaceSpikeThreshold = 16
+	}
+	if o.StormThreshold <= 0 {
+		o.StormThreshold = 16
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// window is a bucketed sliding window of good/bad counts.  Time may jump
+// arbitrarily forward (buckets expire) or backward (the whole window
+// resets — a fresh sweep epoch).
+type window struct {
+	span    float64
+	bspan   float64
+	good    []int64
+	bad     []int64
+	cur     int
+	curEnd  float64
+	primed  bool
+}
+
+func newWindow(span float64, n int) *window {
+	return &window{span: span, bspan: span / float64(n), good: make([]int64, n), bad: make([]int64, n)}
+}
+
+func (w *window) reset(now float64) {
+	for i := range w.good {
+		w.good[i], w.bad[i] = 0, 0
+	}
+	w.cur = 0
+	w.curEnd = now + w.bspan
+	w.primed = true
+}
+
+// advance rotates the window to cover now.
+func (w *window) advance(now float64) {
+	if !w.primed || now < w.curEnd-w.bspan-eps {
+		w.reset(now)
+		return
+	}
+	if now-w.curEnd >= w.span {
+		w.reset(now)
+		return
+	}
+	for now >= w.curEnd {
+		w.cur = (w.cur + 1) % len(w.good)
+		w.good[w.cur], w.bad[w.cur] = 0, 0
+		w.curEnd += w.bspan
+	}
+}
+
+func (w *window) add(now float64, isBad bool) {
+	w.advance(now)
+	if isBad {
+		w.bad[w.cur]++
+	} else {
+		w.good[w.cur]++
+	}
+}
+
+func (w *window) totals() (bad, total int64) {
+	for i := range w.good {
+		bad += w.bad[i]
+		total += w.good[i] + w.bad[i]
+	}
+	return bad, total
+}
+
+// burn returns the window's burn rate: observed error rate over the error
+// budget.  No observations means zero; a zero budget with any error is
+// +Inf (hard invariant).
+func (w *window) burn(budget float64) float64 {
+	bad, total := w.totals()
+	if total == 0 {
+		return 0
+	}
+	rate := float64(bad) / float64(total)
+	if budget <= 0 {
+		if bad > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return rate / budget
+}
+
+// flight is one admitted job awaiting completion.
+type flight struct {
+	trace          uint64
+	deadline       float64
+	reservedFinish float64
+}
+
+// Violation is one hard SLO violation: an admitted job that finished past
+// its deadline (kind "deadline-miss") or was admitted with a reservation
+// already past its deadline (kind "over-admission").
+type Violation struct {
+	Kind           string  `json:"kind"`
+	JobID          int     `json:"job"`
+	Trace          uint64  `json:"trace,omitempty"`
+	Deadline       float64 `json:"deadline"`
+	ReservedFinish float64 `json:"reserved_finish"`
+	Finish         float64 `json:"finish,omitempty"`
+	At             float64 `json:"at"`
+}
+
+// Alert is one burn-rate alert: both windows of an objective burned the
+// error budget faster than the threshold.
+type Alert struct {
+	Objective string  `json:"objective"`
+	Short     float64 `json:"short_burn"`
+	Long      float64 `json:"long_burn"`
+	At        float64 `json:"at"`
+}
+
+const maxKept = 64 // violations and alerts retained for the report
+
+// Engine is the streaming SLO engine.  All methods are safe for
+// concurrent use; a nil *Engine is a valid receiver everywhere (no-op),
+// so call sites need no branching.
+type Engine struct {
+	opts Options
+
+	mu         sync.Mutex
+	inflight   map[int]flight
+	violations []Violation
+	alerts     []Alert
+	latShort   *window
+	latLong    *window
+	utilShort  *window
+	utilLong   *window
+	raceWin    *window
+	stormWin   *window
+	lastRaces  int64
+	lastMoves  int64
+	routerSeen bool
+	alertOn    map[string]bool
+
+	admitted       *obs.Counter
+	rejected       *obs.Counter
+	completed      *obs.Counter
+	misses         *obs.Counter
+	overAdmissions *obs.Counter
+	alertCount     *obs.Counter
+	inFlightG      *obs.Gauge
+	latHist        *obs.Hist
+	latBurnShort   *obs.Gauge
+	latBurnLong    *obs.Gauge
+	utilBurnShort  *obs.Gauge
+	utilBurnLong   *obs.Gauge
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	o := opts.withDefaults()
+	reg := o.Registry
+	return &Engine{
+		opts:           o,
+		inflight:       make(map[int]flight),
+		latShort:       newWindow(o.ShortWindow, o.Buckets),
+		latLong:        newWindow(o.LongWindow, o.Buckets),
+		utilShort:      newWindow(o.ShortWindow, o.Buckets),
+		utilLong:       newWindow(o.LongWindow, o.Buckets),
+		raceWin:        newWindow(o.ShortWindow, o.Buckets),
+		stormWin:       newWindow(o.ShortWindow, o.Buckets),
+		alertOn:        make(map[string]bool),
+		admitted:       reg.Counter(MetricAdmitted),
+		rejected:       reg.Counter(MetricRejected),
+		completed:      reg.Counter(MetricCompleted),
+		misses:         reg.Counter(MetricDeadlineMisses),
+		overAdmissions: reg.Counter(MetricOverAdmissions),
+		alertCount:     reg.Counter(MetricAlerts),
+		inFlightG:      reg.Gauge(MetricInFlight),
+		latHist:        reg.Histogram(MetricLatency, 0, 0.05, 500),
+		latBurnShort:   reg.Gauge(MetricLatencyBurnShort),
+		latBurnLong:    reg.Gauge(MetricLatencyBurnLong),
+		utilBurnShort:  reg.Gauge(MetricUtilBurnShort),
+		utilBurnLong:   reg.Gauge(MetricUtilBurnLong),
+	}
+}
+
+// Registry returns the registry the slo_* metrics live in.
+func (e *Engine) Registry() *obs.Registry {
+	if e == nil {
+		return nil
+	}
+	return e.opts.Registry
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (e *Engine) Recorder() *Recorder {
+	if e == nil {
+		return nil
+	}
+	return e.opts.Recorder
+}
+
+// JobAdmitted records an admission decision: the wall-clock admission
+// latency feeds the latency objective, and the job enters the in-flight
+// set awaiting JobCompleted.  deadline is the granted chain's final task
+// deadline; reservedFinish is the reservation's completion time.  A
+// reservation already past the deadline is an over-admission — an
+// immediate hard violation (the planner emitted an infeasible grant).
+func (e *Engine) JobAdmitted(jobID int, trace uint64, now, latency, deadline, reservedFinish float64) {
+	if e == nil {
+		return
+	}
+	e.admitted.Inc()
+	e.latHist.Observe(latency)
+	e.mu.Lock()
+	e.latShort.add(now, latency > e.opts.LatencyTarget)
+	e.latLong.add(now, latency > e.opts.LatencyTarget)
+	e.inflight[jobID] = flight{trace: trace, deadline: deadline, reservedFinish: reservedFinish}
+	n := len(e.inflight)
+	var over bool
+	if reservedFinish > deadline+eps {
+		over = true
+		e.keepViolation(Violation{
+			Kind: "over-admission", JobID: jobID, Trace: trace,
+			Deadline: deadline, ReservedFinish: reservedFinish, At: now,
+		})
+	}
+	e.mu.Unlock()
+	e.inFlightG.Set(float64(n))
+	if over {
+		e.overAdmissions.Inc()
+		e.opts.Recorder.Trigger(TriggerOverAdmission, trace, now,
+			fmt.Sprintf("job %d reserved finish %.6g past deadline %.6g", jobID, reservedFinish, deadline))
+	}
+}
+
+// JobRejected records a rejection: only the admission latency objective
+// sees it (a rejection is a correct answer, not an SLO violation).
+func (e *Engine) JobRejected(jobID int, trace uint64, now, latency float64) {
+	if e == nil {
+		return
+	}
+	_ = jobID
+	_ = trace
+	e.rejected.Inc()
+	e.latHist.Observe(latency)
+	e.mu.Lock()
+	e.latShort.add(now, latency > e.opts.LatencyTarget)
+	e.latLong.add(now, latency > e.opts.LatencyTarget)
+	e.mu.Unlock()
+}
+
+// JobCompleted closes out an admitted job at its actual completion time
+// and reports whether the completion missed the deadline — the hard
+// invariant: admitted implies met.  A miss triggers the flight recorder.
+// Completions for unknown jobs are ignored (already completed, or
+// admitted before the engine attached).
+func (e *Engine) JobCompleted(jobID int, now float64) (missed bool) {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	fl, ok := e.inflight[jobID]
+	if !ok {
+		e.mu.Unlock()
+		return false
+	}
+	delete(e.inflight, jobID)
+	n := len(e.inflight)
+	missed = now > fl.deadline+eps
+	if missed {
+		e.keepViolation(Violation{
+			Kind: "deadline-miss", JobID: jobID, Trace: fl.trace,
+			Deadline: fl.deadline, ReservedFinish: fl.reservedFinish,
+			Finish: now, At: now,
+		})
+	}
+	e.mu.Unlock()
+	e.completed.Inc()
+	e.inFlightG.Set(float64(n))
+	if missed {
+		e.misses.Inc()
+		e.opts.Recorder.Trigger(TriggerDeadlineMiss, fl.trace, now,
+			fmt.Sprintf("job %d finished %.6g past deadline %.6g (reserved %.6g)", jobID, now, fl.deadline, fl.reservedFinish))
+	}
+	return missed
+}
+
+// ObserveUtilization feeds one utilization sample to the utilization
+// objective (no-op unless Options.UtilTarget is positive).
+func (e *Engine) ObserveUtilization(now, util float64) {
+	if e == nil || e.opts.UtilTarget <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.utilShort.add(now, util < e.opts.UtilTarget)
+	e.utilLong.add(now, util < e.opts.UtilTarget)
+	e.mu.Unlock()
+}
+
+// ObserveRouter feeds the cumulative router-health counters (fed_
+// commit races and rebalancer migrations).  Deltas land in the short
+// window; crossing the spike/storm thresholds triggers the flight
+// recorder once per crossing.
+func (e *Engine) ObserveRouter(now float64, commitRaces, migrations int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	var dRaces, dMoves int64
+	if e.routerSeen {
+		dRaces, dMoves = commitRaces-e.lastRaces, migrations-e.lastMoves
+		if dRaces < 0 {
+			dRaces = 0 // counter reset (new run)
+		}
+		if dMoves < 0 {
+			dMoves = 0
+		}
+	}
+	e.routerSeen = true
+	e.lastRaces, e.lastMoves = commitRaces, migrations
+	for i := int64(0); i < dRaces; i++ {
+		e.raceWin.add(now, true)
+	}
+	for i := int64(0); i < dMoves; i++ {
+		e.stormWin.add(now, true)
+	}
+	e.raceWin.advance(now)
+	e.stormWin.advance(now)
+	races, _ := e.raceWin.totals()
+	moves, _ := e.stormWin.totals()
+	raceSpike := races >= e.opts.RaceSpikeThreshold && !e.alertOn["commit-races"]
+	storm := moves >= e.opts.StormThreshold && !e.alertOn["rebalance"]
+	if races < e.opts.RaceSpikeThreshold {
+		e.alertOn["commit-races"] = false
+	} else if raceSpike {
+		e.alertOn["commit-races"] = true
+	}
+	if moves < e.opts.StormThreshold {
+		e.alertOn["rebalance"] = false
+	} else if storm {
+		e.alertOn["rebalance"] = true
+	}
+	e.mu.Unlock()
+	if raceSpike {
+		e.opts.Recorder.Trigger(TriggerCommitRaceSpike, 0, now,
+			fmt.Sprintf("%d commit races within the last %.3gs", races, e.opts.ShortWindow))
+	}
+	if storm {
+		e.opts.Recorder.Trigger(TriggerRebalanceStorm, 0, now,
+			fmt.Sprintf("%d processor migrations within the last %.3gs", moves, e.opts.ShortWindow))
+	}
+}
+
+// Tick advances the windows to now, publishes the burn-rate gauges and
+// raises multi-window alerts (edge-triggered: one alert per budget-burn
+// episode per objective).
+func (e *Engine) Tick(now float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.latShort.advance(now)
+	e.latLong.advance(now)
+	e.utilShort.advance(now)
+	e.utilLong.advance(now)
+	ls := e.latShort.burn(e.opts.LatencyBudget)
+	ll := e.latLong.burn(e.opts.LatencyBudget)
+	us := e.utilShort.burn(e.opts.UtilBudget)
+	ul := e.utilLong.burn(e.opts.UtilBudget)
+	var fired []Alert
+	check := func(objective string, short, long float64) {
+		burning := short >= e.opts.BurnThreshold && long >= e.opts.BurnThreshold
+		if burning && !e.alertOn[objective] {
+			e.alertOn[objective] = true
+			a := Alert{Objective: objective, Short: short, Long: long, At: now}
+			fired = append(fired, a)
+			e.alerts = append(e.alerts, a)
+			if len(e.alerts) > maxKept {
+				e.alerts = e.alerts[len(e.alerts)-maxKept:]
+			}
+		} else if !burning {
+			e.alertOn[objective] = false
+		}
+	}
+	check("admit-latency", ls, ll)
+	if e.opts.UtilTarget > 0 {
+		check("utilization", us, ul)
+	}
+	e.mu.Unlock()
+	e.latBurnShort.Set(clampInf(ls))
+	e.latBurnLong.Set(clampInf(ll))
+	e.utilBurnShort.Set(clampInf(us))
+	e.utilBurnLong.Set(clampInf(ul))
+	e.alertCount.Add(int64(len(fired)))
+}
+
+// clampInf maps +Inf burn (zero-budget objectives) to a large sentinel so
+// the gauges stay JSON-serializable.
+func clampInf(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return 1e9
+	}
+	return v
+}
+
+// keepViolation appends under e.mu, bounded.
+func (e *Engine) keepViolation(v Violation) {
+	e.violations = append(e.violations, v)
+	if len(e.violations) > maxKept {
+		e.violations = e.violations[len(e.violations)-maxKept:]
+	}
+}
+
+// Report is a point-in-time conformance summary.
+type Report struct {
+	Admitted       int64       `json:"admitted"`
+	Rejected       int64       `json:"rejected"`
+	Completed      int64       `json:"completed"`
+	InFlight       int         `json:"in_flight"`
+	DeadlineMisses int64       `json:"deadline_misses"`
+	OverAdmissions int64       `json:"over_admissions"`
+	Violations     []Violation `json:"violations,omitempty"`
+	Alerts         []Alert     `json:"alerts,omitempty"`
+
+	LatencyTarget float64 `json:"latency_target"`
+	LatencyP50    float64 `json:"latency_p50"`
+	LatencyP99    float64 `json:"latency_p99"`
+	LatencyMean   float64 `json:"latency_mean"`
+
+	LatencyBurnShort float64 `json:"latency_burn_short"`
+	LatencyBurnLong  float64 `json:"latency_burn_long"`
+	UtilBurnShort    float64 `json:"util_burn_short,omitempty"`
+	UtilBurnLong     float64 `json:"util_burn_long,omitempty"`
+
+	Snapshots int `json:"flight_snapshots"`
+}
+
+// Conformant reports the hard invariant: no deadline misses and no
+// over-admissions.
+func (r Report) Conformant() bool { return r.DeadlineMisses == 0 && r.OverAdmissions == 0 }
+
+// Report assembles the current conformance summary.
+func (e *Engine) Report() Report {
+	if e == nil {
+		return Report{}
+	}
+	hist := e.latHist.Snapshot()
+	e.mu.Lock()
+	r := Report{
+		InFlight:         len(e.inflight),
+		Violations:       append([]Violation(nil), e.violations...),
+		Alerts:           append([]Alert(nil), e.alerts...),
+		LatencyBurnShort: clampInf(e.latShort.burn(e.opts.LatencyBudget)),
+		LatencyBurnLong:  clampInf(e.latLong.burn(e.opts.LatencyBudget)),
+	}
+	if e.opts.UtilTarget > 0 {
+		r.UtilBurnShort = clampInf(e.utilShort.burn(e.opts.UtilBudget))
+		r.UtilBurnLong = clampInf(e.utilLong.burn(e.opts.UtilBudget))
+	}
+	e.mu.Unlock()
+	r.Admitted = e.admitted.Value()
+	r.Rejected = e.rejected.Value()
+	r.Completed = e.completed.Value()
+	r.DeadlineMisses = e.misses.Value()
+	r.OverAdmissions = e.overAdmissions.Value()
+	r.LatencyTarget = e.opts.LatencyTarget
+	r.LatencyP50 = hist.Quantile(0.50)
+	r.LatencyP99 = hist.Quantile(0.99)
+	r.LatencyMean = hist.Mean()
+	if rec := e.opts.Recorder; rec != nil {
+		r.Snapshots = rec.Len()
+	}
+	return r
+}
+
+// WriteReport renders the conformance report as a text table (the
+// tunesim -slo end-of-run output).
+func (e *Engine) WriteReport(w io.Writer) error {
+	r := e.Report()
+	verdict := "CONFORMANT (admitted => met)"
+	if !r.Conformant() {
+		verdict = "VIOLATED"
+	}
+	if _, err := fmt.Fprintf(w, "SLO conformance: %s\n", verdict); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  admitted=%d rejected=%d completed=%d in-flight=%d\n",
+		r.Admitted, r.Rejected, r.Completed, r.InFlight)
+	fmt.Fprintf(w, "  deadline misses=%d over-admissions=%d flight snapshots=%d\n",
+		r.DeadlineMisses, r.OverAdmissions, r.Snapshots)
+	fmt.Fprintf(w, "  admit latency: p50=%.3gms p99=%.3gms mean=%.3gms (target %.3gms)\n",
+		r.LatencyP50*1e3, r.LatencyP99*1e3, r.LatencyMean*1e3, r.LatencyTarget*1e3)
+	fmt.Fprintf(w, "  burn rates: latency short=%.3g long=%.3g", r.LatencyBurnShort, r.LatencyBurnLong)
+	if r.UtilBurnShort != 0 || r.UtilBurnLong != 0 {
+		fmt.Fprintf(w, " utilization short=%.3g long=%.3g", r.UtilBurnShort, r.UtilBurnLong)
+	}
+	fmt.Fprintln(w)
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  violation: %s job=%d trace=%d deadline=%.6g reserved=%.6g finish=%.6g\n",
+			v.Kind, v.JobID, v.Trace, v.Deadline, v.ReservedFinish, v.Finish)
+	}
+	for _, a := range r.Alerts {
+		fmt.Fprintf(w, "  alert: %s short=%.3g long=%.3g at=%.6g\n", a.Objective, a.Short, a.Long, a.At)
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"milan/internal/obs"
+)
+
+func TestNilEngineSafe(t *testing.T) {
+	var e *Engine
+	e.JobAdmitted(1, 1, 0, 0, 1, 1)
+	e.JobRejected(1, 1, 0, 0)
+	if e.JobCompleted(1, 0) {
+		t.Fatal("nil engine reported a miss")
+	}
+	e.ObserveUtilization(0, 0.5)
+	e.ObserveRouter(0, 0, 0)
+	e.Tick(0)
+	if r := e.Report(); r.Admitted != 0 || !r.Conformant() {
+		t.Fatalf("nil engine report: %+v", r)
+	}
+	if e.Registry() != nil || e.Recorder() != nil {
+		t.Fatal("nil engine accessors must return nil")
+	}
+}
+
+func TestHardInvariantDeadlineMiss(t *testing.T) {
+	e := New(Options{})
+	e.JobAdmitted(7, 42, 1.0, 1e-3, 10.0, 9.5)
+	if missed := e.JobCompleted(7, 9.9); missed {
+		t.Fatal("on-time completion flagged as miss")
+	}
+	r := e.Report()
+	if !r.Conformant() || r.Completed != 1 {
+		t.Fatalf("conformant run misreported: %+v", r)
+	}
+
+	e.JobAdmitted(8, 43, 2.0, 1e-3, 10.0, 9.5)
+	if missed := e.JobCompleted(8, 10.5); !missed {
+		t.Fatal("late completion not flagged as miss")
+	}
+	r = e.Report()
+	if r.Conformant() || r.DeadlineMisses != 1 {
+		t.Fatalf("miss not reported: %+v", r)
+	}
+	if len(r.Violations) != 1 || r.Violations[0].Kind != "deadline-miss" ||
+		r.Violations[0].JobID != 8 || r.Violations[0].Trace != 43 {
+		t.Fatalf("violation record wrong: %+v", r.Violations)
+	}
+
+	// Unknown completions are ignored.
+	if e.JobCompleted(999, 50) {
+		t.Fatal("unknown job flagged as miss")
+	}
+}
+
+func TestOverAdmissionTriggersImmediately(t *testing.T) {
+	rec := NewRecorder(16, 16)
+	e := New(Options{Recorder: rec})
+	// Reservation finishing after the deadline: planner fault by construction.
+	e.JobAdmitted(3, 9, 0.5, 1e-3, 10.0, 10.7)
+	r := e.Report()
+	if r.Conformant() || r.OverAdmissions != 1 {
+		t.Fatalf("over-admission not reported: %+v", r)
+	}
+	if rec.Len() != 1 || rec.Last().Kind != TriggerOverAdmission {
+		t.Fatalf("recorder not triggered: len=%d", rec.Len())
+	}
+	if rec.Last().Trace != 9 {
+		t.Fatalf("snapshot trace = %d, want 9", rec.Last().Trace)
+	}
+}
+
+func TestLatencyBurnAlertEdgeTriggered(t *testing.T) {
+	e := New(Options{ShortWindow: 10, LongWindow: 100, Buckets: 10,
+		LatencyTarget: 1e-3, LatencyBudget: 0.1, BurnThreshold: 2})
+	// All admissions 10x over the latency target: error rate 1.0, budget
+	// 0.1 -> burn 10 on both windows.
+	for i := 0; i < 20; i++ {
+		e.JobAdmitted(i, uint64(i+1), float64(i)*0.1, 10e-3, 1e9, 1e8)
+	}
+	e.Tick(2.0)
+	r := e.Report()
+	if r.LatencyBurnShort < 2 || r.LatencyBurnLong < 2 {
+		t.Fatalf("burn rates not elevated: %+v", r)
+	}
+	if len(r.Alerts) != 1 || r.Alerts[0].Objective != "admit-latency" {
+		t.Fatalf("want exactly one admit-latency alert, got %+v", r.Alerts)
+	}
+	// Still burning: no second alert (edge-triggered).
+	e.Tick(2.5)
+	if got := len(e.Report().Alerts); got != 1 {
+		t.Fatalf("alert re-fired while still burning: %d", got)
+	}
+	// Let both windows drain (fast-forward past the long window), then
+	// burn again: a second episode should alert again.
+	e.Tick(500)
+	e.Tick(501) // clears alertOn once burn drops below threshold
+	for i := 0; i < 20; i++ {
+		e.JobAdmitted(100+i, uint64(100+i), 502+float64(i)*0.1, 10e-3, 1e9, 1e8)
+	}
+	e.Tick(504)
+	if got := len(e.Report().Alerts); got != 2 {
+		t.Fatalf("second burn episode did not alert: %d alerts", got)
+	}
+}
+
+func TestUtilizationObjectiveOffByDefault(t *testing.T) {
+	e := New(Options{ShortWindow: 10, LongWindow: 100})
+	e.ObserveUtilization(1, 0.01) // ignored: UtilTarget unset
+	e.Tick(2)
+	if r := e.Report(); r.UtilBurnShort != 0 || len(r.Alerts) != 0 {
+		t.Fatalf("utilization objective active without target: %+v", r)
+	}
+
+	e2 := New(Options{ShortWindow: 10, LongWindow: 100, Buckets: 10,
+		UtilTarget: 0.5, UtilBudget: 0.1, BurnThreshold: 2})
+	for i := 0; i < 20; i++ {
+		e2.ObserveUtilization(float64(i)*0.1, 0.2) // all below target
+	}
+	e2.Tick(2.0)
+	r := e2.Report()
+	if r.UtilBurnShort < 2 {
+		t.Fatalf("util burn not elevated: %+v", r)
+	}
+	found := false
+	for _, a := range r.Alerts {
+		if a.Objective == "utilization" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no utilization alert: %+v", r.Alerts)
+	}
+}
+
+func TestWindowBackwardClockResets(t *testing.T) {
+	w := newWindow(10, 10)
+	for i := 0; i < 5; i++ {
+		w.add(float64(i), true)
+	}
+	if bad, _ := w.totals(); bad != 5 {
+		t.Fatalf("bad=%d before reset", bad)
+	}
+	// Sweep epoch restart: clock jumps back to zero.
+	w.add(0.5, false)
+	if bad, total := w.totals(); bad != 0 || total != 1 {
+		t.Fatalf("window did not reset on backward clock: bad=%d total=%d", bad, total)
+	}
+	// Far-forward jump also resets.
+	w.add(1e6, true)
+	if bad, total := w.totals(); bad != 1 || total != 1 {
+		t.Fatalf("window did not reset on forward jump: bad=%d total=%d", bad, total)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	w := newWindow(10, 10)
+	w.add(0, true)
+	w.advance(5)
+	if bad, _ := w.totals(); bad != 1 {
+		t.Fatalf("event expired early: bad=%d", bad)
+	}
+	w.advance(10.5) // past the event's bucket end by a full span? no: 10.5-1=9.5 < span
+	// After a full window has passed the event is gone.
+	w.advance(11.1)
+	if bad, _ := w.totals(); bad != 0 {
+		t.Fatalf("event survived past the window: bad=%d", bad)
+	}
+}
+
+func TestBurnZeroBudgetIsInf(t *testing.T) {
+	w := newWindow(10, 10)
+	w.add(0, true)
+	if b := w.burn(0); !math.IsInf(b, 1) {
+		t.Fatalf("zero-budget burn with errors = %v, want +Inf", b)
+	}
+	if clampInf(math.Inf(1)) != 1e9 {
+		t.Fatal("clampInf broken")
+	}
+}
+
+func TestObserveRouterSpikeAndStorm(t *testing.T) {
+	rec := NewRecorder(16, 16)
+	e := New(Options{ShortWindow: 10, LongWindow: 100, Buckets: 10,
+		RaceSpikeThreshold: 4, StormThreshold: 5, Recorder: rec})
+	// First sample only seeds the cumulative counters.
+	e.ObserveRouter(1, 100, 200)
+	if rec.Len() != 0 {
+		t.Fatal("seeding sample triggered")
+	}
+	// +4 races within the window: spike.
+	e.ObserveRouter(2, 104, 200)
+	if rec.Len() != 1 || rec.Last().Kind != TriggerCommitRaceSpike {
+		t.Fatalf("race spike not triggered: len=%d", rec.Len())
+	}
+	// More races while above threshold: edge-triggered, no re-fire.
+	e.ObserveRouter(3, 106, 200)
+	if rec.Len() != 1 {
+		t.Fatalf("race spike re-fired: len=%d", rec.Len())
+	}
+	// +5 migrations: storm.
+	e.ObserveRouter(4, 106, 205)
+	if rec.Len() != 2 || rec.Last().Kind != TriggerRebalanceStorm {
+		t.Fatalf("storm not triggered: len=%d", rec.Len())
+	}
+	// Counter reset (new run) must not underflow.
+	e.ObserveRouter(5, 0, 0)
+}
+
+func TestReportLatencyQuantiles(t *testing.T) {
+	e := New(Options{})
+	for i := 0; i < 100; i++ {
+		e.JobAdmitted(i, uint64(i+1), 1, 2e-3, 1e9, 1e8)
+	}
+	r := e.Report()
+	if r.LatencyP50 < 1e-3 || r.LatencyP50 > 4e-3 {
+		t.Fatalf("p50 = %g, want ~2ms", r.LatencyP50)
+	}
+	if r.LatencyMean < 1e-3 || r.LatencyMean > 4e-3 {
+		t.Fatalf("mean = %g, want ~2ms", r.LatencyMean)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rec := NewRecorder(8, 8)
+	e := New(Options{Recorder: rec})
+	e.JobAdmitted(1, 5, 0, 1e-3, 10, 9)
+	e.JobCompleted(1, 11) // miss
+	var sb strings.Builder
+	if err := e.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"VIOLATED", "deadline misses=1", "deadline-miss", "flight snapshots=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	e2 := New(Options{})
+	e2.JobAdmitted(1, 5, 0, 1e-3, 10, 9)
+	e2.JobCompleted(1, 9.5)
+	sb.Reset()
+	if err := e2.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CONFORMANT") {
+		t.Fatalf("conformant run misreported:\n%s", sb.String())
+	}
+}
+
+func TestRegistryMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Registry: reg})
+	e.JobAdmitted(1, 1, 0, 1e-3, 10, 9)
+	e.JobRejected(2, 2, 0, 1e-3)
+	e.JobCompleted(1, 11)
+	e.Tick(1)
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		MetricAdmitted:       1,
+		MetricRejected:       1,
+		MetricCompleted:      1,
+		MetricDeadlineMisses: 1,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if _, ok := snap.Histograms[MetricLatency]; !ok {
+		t.Errorf("missing %s histogram", MetricLatency)
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	e := New(Options{Recorder: NewRecorder(64, 64)})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := g*1000 + i
+				e.JobAdmitted(id, uint64(id), float64(i), 1e-3, float64(i)+5, float64(i)+4)
+				e.JobCompleted(id, float64(i)+4.5)
+				e.ObserveUtilization(float64(i), 0.7)
+				e.ObserveRouter(float64(i), int64(i), int64(i))
+				e.Tick(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	r := e.Report()
+	if r.Admitted != 1600 || r.Completed != 1600 {
+		t.Fatalf("lost updates: %+v", r)
+	}
+	if !r.Conformant() {
+		t.Fatalf("spurious violations: %+v", r.Violations)
+	}
+}

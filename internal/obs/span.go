@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span-propagated request tracing.
+//
+// A TraceID is minted once per admission request — by the qosnet server, the
+// federated router, or the experiment loop, whichever sees the request first
+// — and threaded through every stage the request touches (route → plan →
+// reserve → run → finish) as plain uint64 fields on core.Job / qos.Grant, so
+// no package below obs grows an obs dependency.  Each stage records a
+// SpanRec into the Tracer; the full lifecycle of one job is then
+// reconstructable as a span tree (BuildSpanTrees) and exportable to the
+// chrome://tracing view.
+//
+// The whole layer honors the observability contract of this package: a nil
+// *Tracer is a valid receiver for every method, all of which no-op, so an
+// untraced hot path pays one pointer comparison.
+
+// TraceID identifies one request's span tree.  Zero means "untraced".
+type TraceID uint64
+
+// SpanID identifies one span within the process.  Zero means "no span".
+type SpanID uint64
+
+// Lifecycle stage names used by the built-in plumbing (the order of a
+// request's life: arrival → route → plan → reserve → run → finish).
+const (
+	StageArrival = "arrival" // request received / job released
+	StageRoute   = "route"   // federated router choosing a shard
+	StagePlan    = "plan"    // scheduler feasibility + placement planning
+	StageReserve = "reserve" // committing the reservation
+	StageRun     = "run"     // runtime execution of the reservation
+	StageFinish  = "finish"  // completion bookkeeping
+)
+
+// SpanRec is one completed span: a named interval of one request's
+// lifecycle.  Times are in the tracer's clock domain (simulation seconds
+// when bound to a sim engine, wall seconds since tracer creation otherwise).
+type SpanRec struct {
+	Trace  TraceID            `json:"trace"`
+	ID     SpanID             `json:"id"`
+	Parent SpanID             `json:"parent,omitempty"`
+	Name   string             `json:"name"`
+	Stage  string             `json:"stage"`
+	Job    int                `json:"job,omitempty"`
+	Start  float64            `json:"start"`
+	End    float64            `json:"end"`
+	Err    string             `json:"err,omitempty"`
+	Attrs  map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Tracer mints trace/span IDs and retains completed spans in a bounded
+// ring.  All methods are safe for concurrent use and safe on a nil
+// receiver (no-ops returning zero values).
+type Tracer struct {
+	traces atomic.Uint64
+	ids    atomic.Uint64
+
+	mu      sync.Mutex
+	clock   func() float64
+	start   time.Time
+	buf     []SpanRec
+	next    int
+	total   int64
+	dropped int64
+	onEnd   func(SpanRec)
+}
+
+// NewTracer returns a tracer retaining up to capacity completed spans
+// (capacity < 1 means 8192).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 8192
+	}
+	return &Tracer{buf: make([]SpanRec, 0, capacity), start: time.Now()}
+}
+
+// SetClock rebinds the tracer's timestamp source (e.g. a sim engine's Now).
+func (t *Tracer) SetClock(clock func() float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// OnEnd registers fn to observe every completed span (chained after any
+// previously registered observer).  The flight recorder installs itself
+// here.
+func (t *Tracer) OnEnd(fn func(SpanRec)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	prev := t.onEnd
+	if prev == nil {
+		t.onEnd = fn
+	} else {
+		t.onEnd = func(s SpanRec) { prev(s); fn(s) }
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() float64 {
+	t.mu.Lock()
+	clock := t.clock
+	t.mu.Unlock()
+	if clock != nil {
+		return clock()
+	}
+	return time.Since(t.start).Seconds()
+}
+
+// NewTrace mints a fresh trace ID (never zero).
+func (t *Tracer) NewTrace() TraceID {
+	if t == nil {
+		return 0
+	}
+	return TraceID(t.traces.Add(1))
+}
+
+// ActiveSpan is an in-flight span.  A nil *ActiveSpan is a valid receiver
+// for every method (the untraced fast path).
+type ActiveSpan struct {
+	t   *Tracer
+	rec SpanRec
+	mu  sync.Mutex
+}
+
+// Start opens a span under the given trace and parent.  It returns nil —
+// still safe to use — when the tracer is nil or trace is zero.
+func (t *Tracer) Start(trace TraceID, parent SpanID, name, stage string, job int) *ActiveSpan {
+	if t == nil || trace == 0 {
+		return nil
+	}
+	return t.StartAt(trace, parent, name, stage, job, t.now())
+}
+
+// StartAt is Start with an explicit start timestamp (e.g. a reservation's
+// scheduled start rather than the moment the span object was created).
+func (t *Tracer) StartAt(trace TraceID, parent SpanID, name, stage string, job int, start float64) *ActiveSpan {
+	if t == nil || trace == 0 {
+		return nil
+	}
+	return &ActiveSpan{t: t, rec: SpanRec{
+		Trace:  trace,
+		ID:     SpanID(t.ids.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Stage:  stage,
+		Job:    job,
+		Start:  start,
+	}}
+}
+
+// ID returns the span's ID (zero on the untraced path).
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// Trace returns the span's trace ID (zero on the untraced path).
+func (s *ActiveSpan) Trace() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Trace
+}
+
+// SetAttr records one numeric attribute on the span.
+func (s *ActiveSpan) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]float64, 4)
+	}
+	s.rec.Attrs[key] = v
+	s.mu.Unlock()
+}
+
+// SetErr marks the span as failed with the given reason.
+func (s *ActiveSpan) SetErr(reason string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Err = reason
+	s.mu.Unlock()
+}
+
+// End completes the span at the tracer's current clock and records it.
+// Like EndAt, ending twice is a no-op.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.t
+	s.mu.Unlock()
+	if t == nil { // already ended
+		return
+	}
+	s.EndAt(t.now())
+}
+
+// EndAt completes the span at an explicit timestamp and records it.
+// Ending a span twice records it once (subsequent calls no-op).
+func (s *ActiveSpan) EndAt(end float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.t == nil { // already ended
+		s.mu.Unlock()
+		return
+	}
+	t := s.t
+	s.t = nil
+	s.rec.End = end
+	rec := s.rec
+	s.mu.Unlock()
+	t.record(rec)
+}
+
+// record appends a completed span to the ring (evicting the oldest when
+// full, counted in Dropped) and forwards it to the OnEnd observer.
+func (t *Tracer) record(rec SpanRec) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.dropped++
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	onEnd := t.onEnd
+	t.mu.Unlock()
+	if onEnd != nil {
+		onEnd(rec)
+	}
+}
+
+// Spans returns the retained completed spans in completion order (oldest
+// first).  A nil tracer returns nil.
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < cap(t.buf) {
+		return append([]SpanRec(nil), t.buf...)
+	}
+	out := make([]SpanRec, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns the number of spans ever completed.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many completed spans were evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode struct {
+	SpanRec
+	Children []*SpanNode
+}
+
+// Walk visits the node and all descendants in depth-first order.
+func (n *SpanNode) Walk(fn func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindStage returns the first descendant (depth-first, including the
+// receiver) with the given stage, or nil.
+func (n *SpanNode) FindStage(stage string) *SpanNode {
+	var out *SpanNode
+	n.Walk(func(m *SpanNode) {
+		if out == nil && m.Stage == stage {
+			out = m
+		}
+	})
+	return out
+}
+
+// BuildSpanTrees reconstructs one span tree per trace from a flat span
+// record list.  Spans whose parent is missing (evicted from the ring, or
+// the root itself) become roots; a trace with several roots is wrapped
+// under a synthetic root carrying the trace's full time extent.  Children
+// are ordered by start time, then ID.
+func BuildSpanTrees(recs []SpanRec) map[TraceID]*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(recs))
+	byTrace := make(map[TraceID][]*SpanNode)
+	for _, r := range recs {
+		if r.Trace == 0 || r.ID == 0 {
+			continue
+		}
+		n := &SpanNode{SpanRec: r}
+		nodes[r.ID] = n
+		byTrace[r.Trace] = append(byTrace[r.Trace], n)
+	}
+	out := make(map[TraceID]*SpanNode, len(byTrace))
+	for trace, ns := range byTrace {
+		var roots []*SpanNode
+		for _, n := range ns {
+			if p, ok := nodes[n.Parent]; ok && n.Parent != 0 && p.Trace == trace && p != n {
+				p.Children = append(p.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+		}
+		sortNodes := func(list []*SpanNode) {
+			sort.Slice(list, func(a, b int) bool {
+				if list[a].Start != list[b].Start {
+					return list[a].Start < list[b].Start
+				}
+				return list[a].ID < list[b].ID
+			})
+		}
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+		sortNodes(roots)
+		switch len(roots) {
+		case 0:
+			continue
+		case 1:
+			out[trace] = roots[0]
+		default:
+			root := &SpanNode{SpanRec: SpanRec{
+				Trace: trace, Name: "trace", Stage: StageArrival,
+				Start: roots[0].Start, End: roots[0].End, Job: roots[0].Job,
+			}, Children: roots}
+			for _, r := range roots {
+				if r.End > root.End {
+					root.SpanRec.End = r.End
+				}
+			}
+			out[trace] = root
+		}
+	}
+	return out
+}

@@ -53,6 +53,10 @@ type Event struct {
 	Reason string             `json:"reason,omitempty"`
 	Name   string             `json:"name,omitempty"`
 	Attrs  map[string]float64 `json:"attrs,omitempty"`
+	// Trace/Span tie the event to the span-propagated request trace that
+	// produced it (see span.go).  Zero means "untraced".
+	Trace uint64 `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
 }
 
 // TraceSink receives structured events.  Implementations must be safe for
@@ -62,11 +66,16 @@ type TraceSink interface {
 }
 
 // RingSink retains the most recent events in a fixed-capacity ring buffer.
+// When the ring wraps, the oldest events are evicted — never reordered —
+// and the eviction is accounted in Dropped rather than silently
+// overwritten: Events() always returns a contiguous, emission-ordered
+// suffix of the full stream, and Total() == Dropped() + len(Events()).
 type RingSink struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	total int64
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	total   int64
+	dropped int64
 }
 
 // NewRingSink returns a ring buffer holding up to n events (n >= 1).
@@ -77,13 +86,15 @@ func NewRingSink(n int) *RingSink {
 	return &RingSink{buf: make([]Event, 0, n)}
 }
 
-// Emit appends an event, evicting the oldest when full.
+// Emit appends an event, evicting the oldest when full (counted in
+// Dropped).
 func (r *RingSink) Emit(ev Event) {
 	r.mu.Lock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[r.next] = ev
+		r.dropped++
 	}
 	r.next = (r.next + 1) % cap(r.buf)
 	r.total++
@@ -108,6 +119,14 @@ func (r *RingSink) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns how many events were evicted from the ring because it
+// wrapped.  Total() - Dropped() equals the number of retained events.
+func (r *RingSink) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // JSONLSink writes each event as one JSON line.  Writes are buffered;

@@ -42,6 +42,41 @@ func TestRingSinkWrapsKeepingNewest(t *testing.T) {
 	}
 }
 
+// TestRingSinkDroppedAccountingUnderWrap is the regression test for the
+// ring's wrap semantics: eviction must preserve emission order and be
+// accounted in Dropped rather than silently overwritten, and the invariant
+// Total() == Dropped() + len(Events()) must hold at every point.
+func TestRingSinkDroppedAccountingUnderWrap(t *testing.T) {
+	r := NewRingSink(3)
+	check := func(step int) {
+		t.Helper()
+		if got, want := r.Total(), r.Dropped()+int64(len(r.Events())); got != want {
+			t.Fatalf("step %d: Total()=%d but Dropped()+len(Events())=%d", step, got, want)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		r.Emit(Event{Type: EvEventFired, Job: i})
+		check(i)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped below capacity: %d", r.Dropped())
+	}
+	for i := 3; i <= 10; i++ {
+		r.Emit(Event{Type: EvEventFired, Job: i})
+		check(i)
+	}
+	if r.Dropped() != 7 || r.Total() != 10 {
+		t.Fatalf("dropped=%d total=%d, want 7/10", r.Dropped(), r.Total())
+	}
+	// The surviving window is the newest contiguous suffix, in order.
+	evs := r.Events()
+	for i, want := range []int{8, 9, 10} {
+		if evs[i].Job != want {
+			t.Fatalf("evs[%d].Job = %d, want %d (%v)", i, evs[i].Job, want, evs)
+		}
+	}
+}
+
 func TestNewRingSinkPanicsOnZero(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -118,7 +118,7 @@ func (d *DynamicArbitrator) negotiateLocked(job core.Job) (*Grant, error) {
 		}
 		return nil, err
 	}
-	g := &Grant{JobID: job.ID, Chain: pl.Chain, Quality: job.Chains[pl.Chain].Quality, Placement: *pl}
+	g := &Grant{JobID: job.ID, Chain: pl.Chain, Quality: job.Chains[pl.Chain].Quality, Placement: *pl, Trace: job.Trace}
 	d.active[job.ID] = &flight{job: job, grant: g}
 	d.order = append(d.order, job.ID)
 	d.stats.Admitted++

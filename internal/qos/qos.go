@@ -33,6 +33,11 @@ type Grant struct {
 	Chain     int     // index of the chosen execution path
 	Quality   float64 // output quality of the chosen path
 	Placement core.Placement
+
+	// Trace echoes the request's trace identity (core.Job.Trace) so the
+	// caller can correlate the grant — and the reservation's eventual
+	// completion — with the admission spans.  Zero means "untraced".
+	Trace uint64
 }
 
 // Finish returns the completion time of the granted reservation.
@@ -112,6 +117,7 @@ func (a *Arbitrator) Negotiate(job core.Job) (*Grant, error) {
 		Chain:     pl.Chain,
 		Quality:   job.Chains[pl.Chain].Quality,
 		Placement: *pl,
+		Trace:     job.Trace,
 	}
 	a.record(Decision{Job: job, Grant: g, Now: a.now})
 	return g, nil

@@ -12,8 +12,11 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"milan/internal/core"
+	"milan/internal/obs"
 	"milan/internal/qos"
 )
 
@@ -80,6 +83,15 @@ type Server struct {
 	wg      sync.WaitGroup
 	debug   *http.Server // optional observability endpoint (EnableDebug)
 	debugLn net.Listener
+
+	// tracer, when set, makes the server the trace ingress: every
+	// negotiation request arriving without a trace identity gets a root
+	// span minted here, so downstream spans (route/plan/reserve) hang off
+	// one tree per request.  Read lock-free on the hot path.
+	tracer atomic.Pointer[obs.Tracer]
+	// onDecision, when set, observes every negotiation outcome with its
+	// server-side wall latency (the SLO engine's admission-latency feed).
+	onDecision atomic.Pointer[func(job core.Job, g *qos.Grant, err error, latency time.Duration)]
 }
 
 // Serve starts serving the arbitrator on ln and returns immediately.
@@ -121,6 +133,58 @@ func ListenAndServeDynamic(dyn *qos.DynamicArbitrator, addr string) (*Server, er
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// SetTracer installs (or, with nil, removes) the span tracer that makes
+// this server a trace ingress.  Safe to call while serving.
+func (s *Server) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		s.tracer.Store(nil)
+		return
+	}
+	s.tracer.Store(t)
+}
+
+// SetDecisionHook installs (or, with nil, removes) a callback observing
+// every negotiation outcome and its server-side wall latency.  Safe to
+// call while serving.
+func (s *Server) SetDecisionHook(fn func(job core.Job, g *qos.Grant, err error, latency time.Duration)) {
+	if fn == nil {
+		s.onDecision.Store(nil)
+		return
+	}
+	s.onDecision.Store(&fn)
+}
+
+// negotiate runs one negotiation through the installed tracer and decision
+// hook.  With neither installed it is a direct call plus two atomic loads.
+func (s *Server) negotiate(fn func(core.Job) (*qos.Grant, error), job core.Job) (*qos.Grant, error) {
+	t := s.tracer.Load()
+	hook := s.onDecision.Load()
+	if t == nil && hook == nil {
+		return fn(job)
+	}
+	var began time.Time
+	if hook != nil {
+		began = time.Now()
+	}
+	var root *obs.ActiveSpan
+	if t != nil && job.Trace == 0 {
+		tr := t.NewTrace()
+		root = t.Start(tr, 0, "qosnet.negotiate", obs.StageArrival, job.ID)
+		job.Trace, job.Span = uint64(tr), uint64(root.ID())
+	}
+	g, err := fn(job)
+	if root != nil {
+		if err != nil {
+			root.SetErr(err.Error())
+		}
+		root.End()
+	}
+	if hook != nil {
+		(*hook)(job, g, err, time.Since(began))
+	}
+	return g, err
+}
 
 // Close stops accepting, closes all connections (and the debug endpoint,
 // when enabled) and waits for handlers.
@@ -189,7 +253,7 @@ func (s *Server) dispatch(req request) response {
 	}
 	switch req.Op {
 	case opNegotiate:
-		g, err := s.arb.Negotiate(req.Job)
+		g, err := s.negotiate(s.arb.Negotiate, req.Job)
 		switch {
 		case errors.Is(err, qos.ErrRejected):
 			return response{Rejected: true}
@@ -226,7 +290,7 @@ func (s *Server) dispatch(req request) response {
 func (s *Server) dispatchDynamic(req request) response {
 	switch req.Op {
 	case opNegotiate:
-		g, err := s.dyn.Negotiate(req.Job)
+		g, err := s.negotiate(s.dyn.Negotiate, req.Job)
 		switch {
 		case errors.Is(err, qos.ErrRejected):
 			return response{Rejected: true}

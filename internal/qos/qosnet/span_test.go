@@ -1,0 +1,158 @@
+package qosnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+	"milan/internal/qos"
+)
+
+// TestServerMintsRootSpanForUntracedRequests: the server is the trace
+// ingress — a request arriving without a trace identity gets a root span,
+// and the grant echoes the minted trace back across the wire.
+func TestServerMintsRootSpanForUntracedRequests(t *testing.T) {
+	srv, cli := startServer(t, 8)
+	tr := obs.NewTracer(64)
+	srv.SetTracer(tr)
+
+	g, err := cli.Negotiate(job(1, 4, 10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Trace == 0 {
+		t.Fatal("grant carries no trace identity")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "qosnet.negotiate" || spans[0].Stage != obs.StageArrival {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if uint64(spans[0].Trace) != g.Trace {
+		t.Fatalf("span trace %d != grant trace %d", spans[0].Trace, g.Trace)
+	}
+
+	// A rejection still closes the root span, marked failed.
+	if _, err := cli.Negotiate(job(2, 64, 10, 20)); err == nil {
+		t.Fatal("oversized job admitted")
+	}
+	spans = tr.Spans()
+	if len(spans) != 2 || spans[1].Err == "" {
+		t.Fatalf("rejection span = %+v", spans)
+	}
+}
+
+// TestPreTracedRequestKeepsItsIdentity: a job already carrying a trace
+// (minted upstream, e.g. by a federated router in another tier) must not
+// get a second root span; its identity round-trips through the gob
+// envelope untouched.
+func TestPreTracedRequestKeepsItsIdentity(t *testing.T) {
+	srv, cli := startServer(t, 8)
+	tr := obs.NewTracer(64)
+	srv.SetTracer(tr)
+
+	j := job(3, 4, 10, 20)
+	j.Trace, j.Span = 777, 13
+	g, err := cli.Negotiate(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Trace != 777 {
+		t.Fatalf("grant trace = %d, want 777 (propagated, not reminted)", g.Trace)
+	}
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("server minted %d root spans for a pre-traced request", n)
+	}
+}
+
+// TestSpanPropagationConcurrentRoundTrips hammers one traced server from
+// many clients — run under -race in CI.  Every grant must carry a unique
+// nonzero trace, and the tracer must hold exactly one root span per
+// request.
+func TestSpanPropagationConcurrentRoundTrips(t *testing.T) {
+	const clients, perClient = 8, 25
+	arb, err := qos.NewArbitrator(qos.ArbitratorConfig{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServe(arb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := obs.NewTracer(clients * perClient * 2)
+	srv.SetTracer(tr)
+	var decisions int64
+	var decMu sync.Mutex
+	srv.SetDecisionHook(func(j core.Job, g *qos.Grant, err error, latency time.Duration) {
+		decMu.Lock()
+		decisions++
+		decMu.Unlock()
+		if j.Trace == 0 {
+			t.Error("decision hook saw an untraced job")
+		}
+		if latency < 0 {
+			t.Error("negative latency")
+		}
+	})
+
+	var wg sync.WaitGroup
+	traces := make(chan uint64, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < perClient; i++ {
+				// Immediate deadline pressure keeps a mix of grants and
+				// rejections flowing.
+				g, err := cli.Negotiate(job(c*1000+i, 2, 1, 1e9))
+				if err != nil {
+					continue
+				}
+				traces <- g.Trace
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(traces)
+	seen := make(map[uint64]bool)
+	for tc := range traces {
+		if tc == 0 {
+			t.Fatal("zero trace on a granted request")
+		}
+		if seen[tc] {
+			t.Fatalf("trace %d reused across requests", tc)
+		}
+		seen[tc] = true
+	}
+	if got := tr.Total(); got != clients*perClient {
+		t.Fatalf("root spans = %d, want %d", got, clients*perClient)
+	}
+	decMu.Lock()
+	defer decMu.Unlock()
+	if decisions != clients*perClient {
+		t.Fatalf("decision hook saw %d, want %d", decisions, clients*perClient)
+	}
+}
+
+// TestSetTracerRemovable: installing nil restores the zero-overhead path.
+func TestSetTracerRemovable(t *testing.T) {
+	srv, cli := startServer(t, 8)
+	tr := obs.NewTracer(8)
+	srv.SetTracer(tr)
+	srv.SetTracer(nil)
+	srv.SetDecisionHook(nil)
+	if _, err := cli.Negotiate(job(1, 4, 10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 0 {
+		t.Fatal("removed tracer still recording")
+	}
+}

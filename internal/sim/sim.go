@@ -17,6 +17,12 @@ type Event struct {
 	Time float64
 	Name string
 
+	// Trace optionally ties the event to a span-propagated request trace
+	// (obs.TraceID as a plain integer, so sim stays observability-free).
+	// Callers set it on the handle returned by At/After; a traced engine
+	// forwards it to OnEventTraced.  Zero means "untraced".
+	Trace uint64
+
 	fn        func()
 	seq       int64
 	index     int // heap index, -1 when fired or cancelled
@@ -42,6 +48,12 @@ type Engine struct {
 	// costs a single pointer comparison per event (the observability
 	// layer's zero-cost contract; see internal/obs).
 	OnEvent func(name string, t float64)
+
+	// OnEventTraced, if non-nil, additionally observes fired events that
+	// carry a request-trace identity (Event.Trace != 0), letting the
+	// observability layer stamp simulation events into span trees.  Same
+	// zero-cost contract as OnEvent.
+	OnEventTraced func(name string, t float64, trace uint64)
 }
 
 // Now returns the current simulation time.
@@ -101,6 +113,9 @@ func (e *Engine) Step() bool {
 		e.Processed++
 		if e.OnEvent != nil {
 			e.OnEvent(ev.Name, ev.Time)
+		}
+		if e.OnEventTraced != nil && ev.Trace != 0 {
+			e.OnEventTraced(ev.Name, ev.Time, ev.Trace)
 		}
 		ev.fn()
 		return true

@@ -30,6 +30,7 @@ import (
 	"milan/internal/core"
 	"milan/internal/fed"
 	"milan/internal/obs"
+	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/taskgraph"
 	"milan/internal/tunelang"
@@ -229,7 +230,54 @@ type (
 	JSONLSink = obs.JSONLSink
 	// SchedulerHooks instruments the admission pipeline (core.Options.Hooks).
 	SchedulerHooks = core.Hooks
+	// Tracer mints per-request trace identities and retains completed
+	// lifecycle spans (arrival → route → plan → reserve → run → finish).
+	Tracer = obs.Tracer
+	// SpanRec is one completed span of a request's lifecycle.
+	SpanRec = obs.SpanRec
+	// SpanNode is one node of a reconstructed per-request span tree.
+	SpanNode = obs.SpanNode
 )
+
+// Predictability auditor: streaming SLO engine (admitted ⇒ deadline met),
+// anomaly-triggered flight recorder and differential snapshot replay
+// (internal/obs/slo).
+type (
+	// SLOEngine audits deadline conformance, admission latency and
+	// utilization objectives with multi-window burn-rate alerts.
+	SLOEngine = slo.Engine
+	// SLOOptions configures NewSLOEngine.
+	SLOOptions = slo.Options
+	// SLOReport is a point-in-time conformance report.
+	SLOReport = slo.Report
+	// FlightRecorder snapshots recent spans and decision events to JSONL
+	// when an anomaly trips.
+	FlightRecorder = slo.Recorder
+	// FlightSnapshot is one decoded flight-recorder snapshot.
+	FlightSnapshot = slo.Snapshot
+	// ReplayVerdict localizes a snapshot's fault to planner, router,
+	// rebalancer or runtime.
+	ReplayVerdict = slo.Verdict
+)
+
+// NewSLOEngine returns a streaming SLO auditor.
+func NewSLOEngine(opts SLOOptions) *SLOEngine { return slo.New(opts) }
+
+// NewFlightRecorder returns an anomaly-triggered flight recorder holding
+// up to spanCap spans and eventCap decision events per snapshot.
+func NewFlightRecorder(spanCap, eventCap int) *FlightRecorder {
+	return slo.NewRecorder(spanCap, eventCap)
+}
+
+// ReplaySnapshot localizes a flight snapshot's fault offline; the verdict
+// is a pure function of the snapshot.
+func ReplaySnapshot(s *FlightSnapshot) ReplayVerdict { return slo.Replay(s) }
+
+// BuildSpanTrees reconstructs one span tree per trace from completed
+// span records (e.g. Tracer.Spans or a flight snapshot's spans).
+func BuildSpanTrees(recs []SpanRec) map[obs.TraceID]*SpanNode {
+	return obs.BuildSpanTrees(recs)
+}
 
 // Sharded admission plane: the machine's processor pool partitioned across
 // independently locked arbitrator shards with best-of-k routing and
