@@ -7,7 +7,7 @@
 // Usage:
 //
 //	junctiond [-size N] [-rects K] [-workers W] [-seed S] [-faults]
-//	          [-debug-addr HOST:PORT]
+//	          [-debug-addr HOST:PORT] [-pprof]
 package main
 
 import (
@@ -39,11 +39,15 @@ func main() {
 	radius := flag.Float64("radius", 4, "match radius for quality scoring")
 	video := flag.Int("video", 0, "process a synthetic video of N frames instead of a single image")
 	debugAddr := flag.String("debug-addr", "", "serve the observability debug endpoint (/metrics, /trace, /gantt) on this address")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the debug endpoint (requires -debug-addr)")
 	flag.Parse()
 
+	if *pprofFlag && *debugAddr == "" {
+		log.Fatal("junctiond: -pprof requires -debug-addr (profiles are served on the debug endpoint)")
+	}
 	var observer *obs.Observer
 	if *debugAddr != "" {
-		observer = obs.New(obs.Config{})
+		observer = obs.New(obs.Config{EnablePprof: *pprofFlag})
 		// Readiness: the debug endpoint reports 503 until a runtime exists
 		// and while every worker of the latest runtime has crashed.
 		observer.AddHealthCheck("calypso", func() error {

@@ -17,11 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"milan/internal/core"
 	"milan/internal/experiments"
 	"milan/internal/obs"
+	"milan/internal/obs/forensics"
 	"milan/internal/obs/slo"
 	"milan/internal/workload"
 )
@@ -47,6 +50,10 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the final metrics registry after the run")
 	sloAudit := flag.Bool("slo", false, "audit the run with the SLO engine and print the end-of-run conformance report")
 	flightPath := flag.String("flight", "", "write the latest flight-recorder snapshot (JSONL) to this file after the run (implies -slo)")
+	explainPath := flag.String("explain", "", "record a rejection diagnosis per failed admission and write them (JSONL) to this file after the run")
+	headroomHorizon := flag.Float64("headroom", 0, "advertise and audit the capacity-headroom frontier over this horizon in simulated time units (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve the observability debug endpoint (/metrics /trace /explain ...) on this address while the run executes")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the debug endpoint (requires -debug-addr)")
 	flag.Parse()
 	replicaCount = *replicas
 	plotFigures = *plot
@@ -55,10 +62,14 @@ func main() {
 	if *flightPath != "" {
 		*sloAudit = true
 	}
+	if *pprofFlag && *debugAddr == "" {
+		fmt.Fprintln(os.Stderr, "tunesim: -pprof requires -debug-addr (profiles are served on the debug endpoint)")
+		os.Exit(2)
+	}
 	var observer *obs.Observer
 	var auditor *slo.Engine
 	var recorder *slo.Recorder
-	if *tracePath != "" || *showMetrics || *sloAudit {
+	if *tracePath != "" || *showMetrics || *sloAudit || *debugAddr != "" {
 		if *sloAudit {
 			recorder = slo.NewRecorder(0, 0)
 		}
@@ -67,6 +78,7 @@ func main() {
 			Capacity:       cfg.Procs,
 			Tracing:        *sloAudit || *tracePath != "",
 			Sink:           recorder, // nil-safe: slo.Recorder no-ops on nil
+			EnablePprof:    *pprofFlag,
 		})
 		cfg.Obs = observer
 		if *sloAudit {
@@ -74,6 +86,36 @@ func main() {
 			auditor = slo.New(slo.Options{Registry: observer.Reg, Recorder: recorder})
 			cfg.SLO = auditor
 		}
+	}
+	// Admission forensics: the rejection recorder (-explain, and always on
+	// when a debug endpoint serves /explain) and the headroom forecaster
+	// (-headroom).  Both feed the run through Config.Forensics/Forecast.
+	var forRec *forensics.Recorder
+	if *explainPath != "" || *debugAddr != "" {
+		forRec = forensics.NewRecorder(0)
+		cfg.Forensics = forRec
+		if observer != nil {
+			forRec.BindMetrics(observer.Reg)
+			forRec.Mount(observer)
+		}
+	}
+	var forecaster *forensics.Forecaster
+	if *headroomHorizon > 0 {
+		forecaster = forensics.NewForecaster()
+		cfg.Forecast = forecaster
+		cfg.HeadroomHorizon = *headroomHorizon
+		if observer != nil {
+			forecaster.BindMetrics(observer.Reg)
+		}
+	}
+	if *debugAddr != "" {
+		addr, srv, err := startDebug(observer, *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tunesim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s (/metrics /trace /spans /gantt /explain /healthz)\n\n", addr)
 	}
 	switch *tiebreak {
 	case "paper":
@@ -97,6 +139,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := finishSLO(os.Stdout, auditor, recorder, *flightPath); err != nil {
+		fmt.Fprintln(os.Stderr, "tunesim:", err)
+		os.Exit(1)
+	}
+	if err := finishForensics(os.Stdout, forRec, forecaster, *explainPath); err != nil {
 		fmt.Fprintln(os.Stderr, "tunesim:", err)
 		os.Exit(1)
 	}
@@ -146,6 +192,74 @@ func finishSLO(out io.Writer, e *slo.Engine, rec *slo.Recorder, flightPath strin
 		fmt.Fprintf(out, "replay verdict: %s\n", slo.Replay(snap))
 	}
 	return nil
+}
+
+// finishForensics prints the admission-forensics summary (the -explain and
+// -headroom outputs) and writes the rejection-cause JSONL artifact.  Nil
+// recorder and forecaster are a no-op.
+func finishForensics(out io.Writer, rec *forensics.Recorder, fc *forensics.Forecaster, explainPath string) error {
+	if rec != nil {
+		var suggested, verified, refuted int
+		causes := map[core.Constraint]int{}
+		records := rec.Records()
+		for _, r := range records {
+			if r.Diag.Suggestion != nil {
+				suggested++
+			}
+			if r.Verified != nil {
+				if *r.Verified {
+					verified++
+				} else {
+					refuted++
+				}
+			}
+			for _, cd := range r.Diag.Chains {
+				if !cd.Schedulable {
+					causes[cd.Constraint]++
+				}
+			}
+		}
+		fmt.Fprintf(out, "\nadmission forensics: %d diagnoses retained (%d recorded, %d evicted)\n",
+			len(records), rec.Total(), rec.Dropped())
+		fmt.Fprintf(out, "  failed chains by cause: width=%d deadline=%d capacity=%d\n",
+			causes[core.ConstraintWidth], causes[core.ConstraintDeadline], causes[core.ConstraintCapacity])
+		fmt.Fprintf(out, "  counterfactual suggestions: %d emitted, %d verified admitting, %d refuted\n",
+			suggested, verified, refuted)
+		if explainPath != "" {
+			f, err := os.Create(explainPath)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote rejection-cause JSONL (%d records) to %s\n", len(records), explainPath)
+		}
+	}
+	if fc != nil {
+		if hr, ok := fc.Last(); ok {
+			fmt.Fprintf(out, "headroom frontier at end of run: widest=%dp longest=%.1ft best rectangle=%dp x %.1ft (area %.1f) over [%.1f, %.1f)\n",
+				hr.MaxProcs, hr.MaxDuration, hr.BestHole.Procs, hr.BestHole.End-hr.BestHole.Start,
+				hr.MaxArea, hr.From, hr.From+hr.Horizon)
+		}
+	}
+	return nil
+}
+
+// startDebug serves the observer's debug handler on addr, returning the
+// bound address and the server (close it to stop serving).
+func startDebug(o *obs.Observer, addr string) (net.Addr, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr(), srv, nil
 }
 
 // finishObs renders the post-run observability artifacts: the metrics table

@@ -206,6 +206,9 @@ func (s *Scheduler) PlanKeyed(job Job) (*Placement, PlanKey, bool) {
 		if h != nil && h.PlanFailure != nil {
 			h.PlanFailure(&job)
 		}
+		if s.opts.Diagnosis != nil {
+			s.opts.Diagnosis(s.Diagnose(job))
+		}
 		return nil, PlanKey{}, false
 	}
 	return best, PlanKey{Finish: bestKey.finish, Util: bestKey.util, Prefix: bestKey.prefix}, true

@@ -1,0 +1,108 @@
+package core
+
+// Headroom forecasting: the "largest admissible job" signal.
+//
+// A tunability-aware admission plane should be able to tell QoS agents
+// ahead of time what it can still take.  Headroom summarizes the free
+// processor-time plane over a sliding horizon as the frontier of feasible
+// demand rectangles: the widest placeable job, the longest placeable job,
+// and the largest width×duration rectangle (with the maximal hole
+// realizing it).  It is derived from MaximalHoles, so with the profile
+// index attached one refresh costs O(n log n) in the number of committed
+// reservations.
+
+// Headroom is the admissibility frontier of one machine over a window.
+type Headroom struct {
+	// From/Horizon delimit the window [From, From+Horizon) the signal
+	// describes.
+	From    float64 `json:"from"`
+	Horizon float64 `json:"horizon"`
+	// MaxProcs is the widest task placeable right now for any positive
+	// duration within the window.
+	MaxProcs int `json:"max_procs"`
+	// MaxDuration is the longest single stretch (within the window) with
+	// at least one processor free.
+	MaxDuration float64 `json:"max_duration"`
+	// MaxArea is the largest width×duration rectangle that fits inside
+	// one hole within the window — an upper bound on the area of any
+	// single rigid task admissible without queueing behind reservations.
+	MaxArea float64 `json:"max_area"`
+	// BestHole is the hole (clipped to the window) realizing MaxArea.
+	BestHole Hole `json:"best_hole"`
+}
+
+// Fits reports whether a procs×duration demand rectangle lies inside the
+// advertised frontier: some hole in the window offered at least procs
+// processors for at least duration.  It is the forecast the SLO engine
+// audits — a rejection of a demand the frontier claimed to fit is a
+// forecast miss.
+func (h Headroom) Fits(procs int, duration float64) bool {
+	if procs <= 0 || duration <= 0 {
+		return false
+	}
+	// The frontier retains only the best rectangle per axis, so be
+	// conservative: claim a fit only if the best-area hole itself covers
+	// the demand (exactness per-axis would need the full hole set).
+	return procs <= h.BestHole.Procs && timeLeq(duration, h.BestHole.End-h.BestHole.Start)
+}
+
+// HeadroomOf computes the admissibility frontier of the profile over
+// [from, from+horizon).  A non-positive horizon yields a zero frontier.
+func HeadroomOf(p *Profile, from, horizon float64) Headroom {
+	hr := Headroom{From: from, Horizon: horizon}
+	if horizon <= 0 {
+		return hr
+	}
+	end := from + horizon
+	for _, h := range p.MaximalHoles(from) {
+		s0 := maxTime(h.Start, from)
+		e0 := minTime(h.End, end)
+		if !timeLess(s0, e0) {
+			continue
+		}
+		if h.Procs > hr.MaxProcs {
+			hr.MaxProcs = h.Procs
+		}
+		d := e0 - s0
+		if d > hr.MaxDuration {
+			hr.MaxDuration = d
+		}
+		if area := float64(h.Procs) * d; area > hr.MaxArea {
+			hr.MaxArea = area
+			hr.BestHole = Hole{Start: s0, End: e0, Procs: h.Procs}
+		}
+	}
+	return hr
+}
+
+// Merge folds another machine's frontier into this one, producing the
+// plane-wide frontier of a sharded admission plane: a job is admissible
+// somewhere if it is admissible on some shard, so every axis merges by
+// maximum (areas are per-hole and never summed across shards — shards
+// cannot co-schedule one rigid task).
+func (h Headroom) Merge(o Headroom) Headroom {
+	out := h
+	if o.From < out.From || out.Horizon == 0 {
+		out.From = o.From
+	}
+	if o.Horizon > out.Horizon {
+		out.Horizon = o.Horizon
+	}
+	if o.MaxProcs > out.MaxProcs {
+		out.MaxProcs = o.MaxProcs
+	}
+	if o.MaxDuration > out.MaxDuration {
+		out.MaxDuration = o.MaxDuration
+	}
+	if o.MaxArea > out.MaxArea {
+		out.MaxArea = o.MaxArea
+		out.BestHole = o.BestHole
+	}
+	return out
+}
+
+// Headroom returns the scheduler's admissibility frontier over
+// [now, now+horizon), computed against the live profile (read-only).
+func (s *Scheduler) Headroom(now, horizon float64) Headroom {
+	return HeadroomOf(s.prof, maxTime(now, s.prof.Origin()), horizon)
+}

@@ -112,6 +112,14 @@ type Options struct {
 	// Because Hooks travels inside Options it survives scheduler rebuilds
 	// (e.g. the dynamic arbitrator's capacity renegotiations).
 	Hooks *Hooks
+	// Diagnosis, if non-nil, receives a rejection explanation for every
+	// failed planning pass (see PlanDiagnosis).  Like Hooks it travels
+	// inside Options; unlike Hooks it sits entirely off the admission hot
+	// path — a successful plan never touches it, and a failed plan pays
+	// one nil check when it is absent.  The diagnosis replays run on
+	// forks of the profile, so installing a sink never changes admission
+	// decisions or scheduler statistics.
+	Diagnosis func(*PlanDiagnosis)
 }
 
 func (o Options) backtrackBudget() int {

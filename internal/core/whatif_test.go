@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWhatIfDeltaApplyToPure(t *testing.T) {
+	job := Job{ID: 1, Release: 2, Chains: []Chain{
+		{Tasks: []Task{{Procs: 4, Duration: 3, Deadline: 10}, {Procs: 2, Duration: 1, Deadline: 12}}},
+		{Tasks: []Task{{Malleable: true, Work: 8, MaxProcs: 4, Deadline: 9}}},
+	}}
+	orig := Job{ID: 1, Release: 2, Chains: []Chain{
+		{Tasks: []Task{{Procs: 4, Duration: 3, Deadline: 10}, {Procs: 2, Duration: 1, Deadline: 12}}},
+		{Tasks: []Task{{Malleable: true, Work: 8, MaxProcs: 4, Deadline: 9}}},
+	}}
+	d := WhatIfDelta{ExtraDeadline: 5, WidthCap: 2, OnlyChain: 1}
+	out := d.ApplyTo(job)
+	if len(out.Chains) != 1 {
+		t.Fatalf("OnlyChain=1 kept %d chains", len(out.Chains))
+	}
+	t0 := out.Chains[0].Tasks[0]
+	if t0.Procs != 2 || !timeEq(t0.Duration, 6) || !timeEq(t0.Deadline, 15) {
+		t.Fatalf("task 0 after delta = %+v, want procs=2 dur=6 deadline=15", t0)
+	}
+	// Constant area under the width cap.
+	if !timeEq(t0.Area(), orig.Chains[0].Tasks[0].Area()) {
+		t.Fatalf("width cap changed the task area: %v != %v", t0.Area(), orig.Chains[0].Tasks[0].Area())
+	}
+	// The input job must be untouched.
+	for ci := range orig.Chains {
+		for ti := range orig.Chains[ci].Tasks {
+			if job.Chains[ci].Tasks[ti] != orig.Chains[ci].Tasks[ti] {
+				t.Fatalf("ApplyTo mutated the input job at chain %d task %d", ci, ti)
+			}
+		}
+	}
+	// Malleable clamp.
+	d2 := WhatIfDelta{WidthCap: 2, OnlyChain: 2}
+	m := d2.ApplyTo(job).Chains[0].Tasks[0]
+	if m.MaxProcs != 2 || m.Work != 8 {
+		t.Fatalf("malleable after cap = %+v, want MaxProcs=2 Work=8", m)
+	}
+}
+
+func TestWhatIfShrinkBelowPeakFails(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	if err := s.ReserveSlot(3, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	job := Job{ID: 1, Chains: []Chain{rigid(1, 1, 100)}}
+	if _, ok := s.WhatIf(job, WhatIfDelta{ExtraProcs: -2}); ok {
+		t.Fatalf("shrink below committed peak admitted a probe")
+	}
+	if _, ok := s.WhatIf(job, WhatIfDelta{ExtraProcs: -1}); !ok {
+		t.Fatalf("shrink to exactly the committed peak must still plan a 1-wide task")
+	}
+}
+
+// TestWhatIfIsolation is the probe-isolation property test: a live
+// schedule driven by a proftest-style mutation stream stays bit-identical
+// to a control schedule driven by the same stream, no matter how many
+// WhatIf probes and Diagnose replays are interleaved.  The comparison is
+// the same state differencing the differential oracle harness uses
+// (profile rendering + invariants), plus the index work counters — probes
+// must not even show up as query work on the live profile.
+func TestWhatIfIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const capacity = 8
+	s := NewScheduler(capacity, 0, nil)
+	control := NewProfile(capacity, 0)
+	control.EnableIndex()
+
+	probe := func(now float64) {
+		job := Job{
+			ID:      rng.Int(),
+			Release: now + rng.Float64()*10,
+			Chains: []Chain{{Tasks: []Task{{
+				Procs:    1 + rng.Intn(2*capacity),
+				Duration: 0.5 + rng.Float64()*10,
+				Deadline: now + 5 + rng.Float64()*20,
+			}}}},
+		}
+		if job.Validate() != nil {
+			return
+		}
+		d := WhatIfDelta{
+			ExtraProcs:    rng.Intn(7) - 2,
+			ExtraDeadline: rng.Float64() * 30,
+			WidthCap:      rng.Intn(capacity + 1),
+		}
+		s.WhatIf(job, d)
+		if _, ok := s.WhatIf(job, WhatIfDelta{}); !ok {
+			s.Diagnose(job)
+		}
+	}
+
+	now := 0.0
+	for i := 0; i < 300; i++ {
+		baseline := s.IndexStats()
+		probe(now)
+		if got := s.IndexStats(); got != baseline {
+			t.Fatalf("op %d: probes changed live index counters: %+v -> %+v", i, baseline, got)
+		}
+
+		// One mutation on both the live schedule and the control.
+		start := now + rng.Float64()*20
+		dur := 0.2 + rng.Float64()*8
+		procs := 1 + rng.Intn(capacity)
+		switch rng.Intn(3) {
+		case 0: // reserve via the scheduler's own allocation pattern
+			if slot, ok := s.Profile().EarliestFit(procs, dur, start, Inf); ok {
+				if err := s.ReserveSlot(procs, slot, slot+dur); err != nil {
+					t.Fatalf("op %d: live reserve: %v", i, err)
+				}
+				if err := control.Reserve(procs, slot, slot+dur); err != nil {
+					t.Fatalf("op %d: control reserve: %v", i, err)
+				}
+			}
+		case 1: // trim history
+			now += rng.Float64() * 2
+			s.Observe(now)
+			control.TrimBefore(now)
+		case 2: // admit a real job
+			job := Job{ID: i, Release: start, Chains: []Chain{{Tasks: []Task{{
+				Procs: procs, Duration: dur, Deadline: start + dur*(1+rng.Float64()*3),
+			}}}}}
+			if pl, ok := s.Plan(job); ok {
+				if err := s.Commit(job, pl); err != nil {
+					t.Fatalf("op %d: commit: %v", i, err)
+				}
+				for _, tp := range pl.Tasks {
+					if err := control.Reserve(tp.Procs, tp.Start, tp.Finish); err != nil {
+						t.Fatalf("op %d: control mirror: %v", i, err)
+					}
+				}
+			}
+		}
+
+		probe(now)
+
+		if got, want := s.Profile().String(), control.String(); got != want {
+			t.Fatalf("op %d: live profile diverged from control:\n live:    %s\n control: %s", i, got, want)
+		}
+		if err := s.Profile().CheckInvariants(); err != nil {
+			t.Fatalf("op %d: live invariants: %v", i, err)
+		}
+	}
+}
+
+func TestHeadroomOf(t *testing.T) {
+	p := NewProfile(4, 0)
+	// Idle machine: the whole window is one 4-wide hole.
+	hr := HeadroomOf(p, 0, 10)
+	if hr.MaxProcs != 4 || !timeEq(hr.MaxDuration, 10) || !timeEq(hr.MaxArea, 40) {
+		t.Fatalf("idle headroom = %+v, want 4 procs x 10 = 40", hr)
+	}
+	// Block 3 procs over [2, 6): window [0, 10) now offers
+	// [0,2)x4 (area 8), [2,6)x1 (area 4), [6,10)x4 (area 16),
+	// and the full-window 1-wide hole [0,10)x1 (area 10).
+	if err := p.Reserve(3, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	hr = HeadroomOf(p, 0, 10)
+	if hr.MaxProcs != 4 {
+		t.Fatalf("max procs = %d, want 4", hr.MaxProcs)
+	}
+	if !timeEq(hr.MaxDuration, 10) {
+		t.Fatalf("max duration = %v, want 10 (1-wide hole spans the window)", hr.MaxDuration)
+	}
+	if !timeEq(hr.MaxArea, 16) || hr.BestHole.Procs != 4 || !timeEq(hr.BestHole.Start, 6) {
+		t.Fatalf("best rectangle = %+v (area %v), want [6,10)x4", hr.BestHole, hr.MaxArea)
+	}
+	if !hr.Fits(4, 4) || !hr.Fits(2, 3) || hr.Fits(4, 5) {
+		t.Fatalf("Fits frontier wrong: %+v", hr)
+	}
+
+	// Merge: a second machine with a wider short hole.
+	q := NewProfile(6, 0)
+	if err := q.Reserve(6, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	hq := HeadroomOf(q, 0, 10)
+	if hq.MaxProcs != 6 || !timeEq(hq.MaxArea, 6) {
+		t.Fatalf("second machine headroom = %+v", hq)
+	}
+	m := hr.Merge(hq)
+	if m.MaxProcs != 6 || !timeEq(m.MaxArea, 16) || !timeEq(m.MaxDuration, 10) {
+		t.Fatalf("merged frontier = %+v, want procs=6 area=16 duration=10", m)
+	}
+}
+
+func TestSchedulerHeadroomFollowsLoad(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	before := s.Headroom(0, 20)
+	if before.MaxProcs != 4 {
+		t.Fatalf("idle scheduler headroom %+v", before)
+	}
+	job := Job{ID: 1, Chains: []Chain{rigid(4, 5, 100)}}
+	if _, err := s.Admit(job); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Headroom(0, 20)
+	if !(after.MaxArea < before.MaxArea) {
+		t.Fatalf("headroom did not shrink after admission: %v -> %v", before.MaxArea, after.MaxArea)
+	}
+}

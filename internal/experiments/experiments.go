@@ -13,6 +13,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/forensics"
 	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/sim"
@@ -55,6 +56,82 @@ type Config struct {
 	// recorder's replay must localize to the runtime stage.  Zero (the
 	// default) completes jobs exactly when their reservation promised.
 	CompletionDelay float64
+	// Forensics, if set, retains a rejection diagnosis for every failed
+	// admission of the run and closes the loop: after each rejection the
+	// diagnosis's verified suggestion is replayed through the arbitrator's
+	// side-effect-free WhatIf probe and the outcome recorded
+	// (forensics.Recorder.MarkVerified).  nil (the default) costs nothing
+	// — the planner's diagnosis path stays un-instrumented.
+	Forensics *forensics.Recorder
+	// Forecast, if set, advertises the arbitrator's headroom frontier over
+	// HeadroomHorizon before every arrival and audits each rejection
+	// against the advertised frontier; forecast misses additionally feed
+	// the SLO engine's headroom-forecast objective when SLO is set.
+	Forecast *forensics.Forecaster
+	// HeadroomHorizon is the forecaster's sliding window in simulated time
+	// units; non-positive selects DefaultHeadroomHorizon.
+	HeadroomHorizon float64
+}
+
+// DefaultHeadroomHorizon is the forecaster's window when the
+// configuration leaves HeadroomHorizon unset: four times the default
+// task duration, comfortably covering the deadline window of the
+// paper's synthetic jobs.
+const DefaultHeadroomHorizon = 100.0
+
+// headroomHorizon resolves the forecast window.
+func (c Config) headroomHorizon() float64 {
+	if c.HeadroomHorizon > 0 {
+		return c.HeadroomHorizon
+	}
+	return DefaultHeadroomHorizon
+}
+
+// diagnosisSink composes the run's diagnosis consumers — the forensics
+// recorder, the headroom forecaster's rejection audit and (through it)
+// the SLO engine's forecast objective — into one core.Options.Diagnosis
+// callback.  It returns nil when no consumer is configured, preserving
+// the planner's zero-cost default path.
+func (c Config) diagnosisSink() func(*core.PlanDiagnosis) {
+	if c.Forensics == nil && c.Forecast == nil {
+		return nil
+	}
+	rec, fc, eng := c.Forensics, c.Forecast, c.SLO
+	return func(d *core.PlanDiagnosis) {
+		rec.Record(d) // nil-safe
+		if fc != nil {
+			miss := fc.NoteRejection(d)
+			if eng != nil {
+				// The diagnosis carries the rejected job's release time,
+				// which is the simulation clock at decision time.
+				eng.ObserveForecast(d.Release, miss)
+			}
+		}
+	}
+}
+
+// schedulerOptions returns the effective scheduler options for a run:
+// the configured policies plus, when forensics consumers are present,
+// the composed diagnosis sink.  The configured Options value is never
+// mutated.
+func (c Config) schedulerOptions() *core.Options {
+	sink := c.diagnosisSink()
+	if sink == nil {
+		return c.Opts
+	}
+	var o core.Options
+	if c.Opts != nil {
+		o = *c.Opts
+	}
+	if prev := o.Diagnosis; prev != nil {
+		o.Diagnosis = func(d *core.PlanDiagnosis) {
+			prev(d)
+			sink(d)
+		}
+	} else {
+		o.Diagnosis = sink
+	}
+	return &o
 }
 
 // DefaultConfig returns the baseline configuration: M = 32 processors,
@@ -108,12 +185,16 @@ func (r RunResult) Throughput() int { return r.Admitted }
 
 // admitter is the arbitration surface the simulation loop drives: the
 // monolithic qos.Arbitrator and the federated fed.Arbitrator (see
-// sharded.go) both satisfy it.
+// sharded.go) both satisfy it.  The forensics surface (WhatIf probes and
+// the headroom frontier) rides along so the loop can close the rejection
+// loop and refresh the forecaster against either plane.
 type admitter interface {
 	qos.Negotiator
 	Observe(now float64)
 	Utilization(origin, horizon float64) float64
 	IndexStats() core.IndexStats
+	WhatIf(job core.Job, d core.WhatIfDelta) (*core.Placement, bool)
+	Headroom(horizon float64) core.Headroom
 }
 
 // Run simulates one task system under the configuration, driving arrivals
@@ -123,7 +204,7 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	arbCfg := qos.ArbitratorConfig{Procs: cfg.Procs, Options: cfg.Opts}
+	arbCfg := qos.ArbitratorConfig{Procs: cfg.Procs, Options: cfg.schedulerOptions()}
 	if cfg.Obs != nil {
 		arbCfg = cfg.Obs.InstrumentArbitratorConfig(arbCfg)
 	}
@@ -154,10 +235,18 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 	if cfg.Obs != nil {
 		tracer = cfg.Obs.Tracer()
 	}
+	if cfg.Forensics != nil {
+		// Stamp retained diagnoses with the simulation clock, not wall time.
+		cfg.Forensics.SetClock(engine.Now)
+	}
 	// Auditing (tracing or SLO accounting) adds completion events to the
 	// simulation and wall-clock latency timing around each negotiation;
 	// the default path schedules and measures nothing extra.
 	auditing := cfg.SLO != nil || tracer != nil
+	forecastHorizon := 0.0
+	if cfg.Forecast != nil {
+		forecastHorizon = cfg.headroomHorizon()
+	}
 	var lastFinish, lastRelease float64
 	var slackSum float64
 
@@ -171,6 +260,12 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 			now := engine.Now()
 			lastRelease = now
 			arb.Observe(now)
+			if cfg.Forecast != nil {
+				// Refresh the advertised frontier at decision time, so the
+				// rejection audit below judges a forecast the plane could
+				// actually have served this arrival.
+				cfg.Forecast.Advertise(arb.Headroom(forecastHorizon))
+			}
 			job := cfg.Job.Job(id, now, sys)
 			if cfg.Malleable {
 				job = job.MakeMalleable()
@@ -229,6 +324,15 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 				}
 			} else {
 				res.Rejected++
+				if cfg.Forensics != nil {
+					// Close the loop: replay the diagnosis's suggested
+					// relaxation through the side-effect-free WhatIf probe
+					// and record whether it flips the job to admitted.
+					if rec, ok := cfg.Forensics.LastFor(job.ID); ok && rec.Diag.Suggestion != nil {
+						_, admitted := arb.WhatIf(job, *rec.Diag.Suggestion)
+						cfg.Forensics.MarkVerified(job.ID, admitted)
+					}
+				}
 				if auditing {
 					root.SetErr("rejected")
 					root.EndAt(now)

@@ -65,6 +65,16 @@ func RunSharded(cfg Config, sys workload.System, shards, probeK int) (RunResult,
 		ProbeK:  probeK,
 		Options: cfg.Opts,
 		Metrics: metrics,
+		// The plane stamps each diagnosis with the deciding shard before
+		// handing it to the run's composed sink (recorder + forecaster).
+		Diagnosis: cfg.diagnosisSink(),
+	}
+	if cfg.Forecast != nil {
+		// Event-driven frontier refresh: every committed mutation of a
+		// shard re-advertises the merged plane-wide headroom, so the
+		// forecaster's gauges track the plane between arrivals too.
+		fedCfg.HeadroomHorizon = cfg.headroomHorizon()
+		fedCfg.HeadroomSink = cfg.Forecast.Advertise
 	}
 	if cfg.Obs != nil {
 		fedCfg.Tracer = cfg.Obs.Tracer()

@@ -67,6 +67,24 @@ type Config struct {
 	// router mints a root trace for untraced ones).  nil keeps the hot
 	// path span-free: the only cost is one pointer comparison.
 	Tracer *obs.Tracer
+	// Diagnosis, if set, receives a rejection explanation for every failed
+	// planning pass on every shard, stamped with the shard id (it may be
+	// called concurrently from different shards, and may fire for losing
+	// probes of jobs that ultimately commit elsewhere — the per-shard
+	// truth, not the router verdict).  nil keeps planning diagnosis-free.
+	Diagnosis func(*core.PlanDiagnosis)
+	// HeadroomHorizon, when positive, turns on live headroom forecasting:
+	// every shard maintains its admissibility frontier (core.Headroom over
+	// [now, now+HeadroomHorizon)) across committed mutations, and the
+	// router publishes the plane-wide merge to HeadroomSink after every
+	// decision and observation.  Zero (the default) keeps the commit path
+	// identical to a plane without forecasting.
+	HeadroomHorizon float64
+	// HeadroomSink, if set (and HeadroomHorizon > 0), receives the merged
+	// plane-wide frontier on every refresh — typically
+	// (*forensics.Forecaster).Advertise, which publishes the headroom_*
+	// gauges and audits rejections against the advertised frontier.
+	HeadroomSink func(core.Headroom)
 }
 
 // planKey is the cross-shard tie-break key for a planned placement: the
@@ -133,6 +151,9 @@ type Arbitrator struct {
 	metrics *Metrics
 	tracer  *obs.Tracer
 
+	headroomHorizon float64
+	headroomSink    func(core.Headroom)
+
 	rebal *Rebalancer // lazily created by Rebalance/AttachBroker
 	rbMu  sync.Mutex
 }
@@ -162,12 +183,14 @@ func New(cfg Config) (*Arbitrator, error) {
 		k = shards
 	}
 	a := &Arbitrator{
-		probeK:   k,
-		origin:   cfg.Origin,
-		keepHist: cfg.KeepHistory,
-		observer: cfg.Observer,
-		metrics:  cfg.Metrics,
-		tracer:   cfg.Tracer,
+		probeK:          k,
+		origin:          cfg.Origin,
+		keepHist:        cfg.KeepHistory,
+		observer:        cfg.Observer,
+		metrics:         cfg.Metrics,
+		tracer:          cfg.Tracer,
+		headroomHorizon: cfg.HeadroomHorizon,
+		headroomSink:    cfg.HeadroomSink,
 	}
 	a.nowBits.Store(floatBits(cfg.Origin))
 	base, rem := cfg.Procs/shards, cfg.Procs%shards
@@ -176,7 +199,25 @@ func New(cfg Config) (*Arbitrator, error) {
 		if i < rem {
 			procs++
 		}
-		sh := newShard(i, procs, cfg.Origin, cfg.Options, cfg.Horizon)
+		opts := cfg.Options
+		if cfg.Diagnosis != nil {
+			// Wrap the plane-wide diagnosis sink per shard so every
+			// emitted diagnosis carries the shard it was computed on.
+			var o core.Options
+			if opts != nil {
+				o = *opts
+			}
+			shardID, inner, sink := i, o.Diagnosis, cfg.Diagnosis
+			o.Diagnosis = func(d *core.PlanDiagnosis) {
+				d.Shard = shardID
+				if inner != nil {
+					inner(d)
+				}
+				sink(d)
+			}
+			opts = &o
+		}
+		sh := newShard(i, procs, cfg.Origin, opts, cfg.Horizon, cfg.HeadroomHorizon)
 		sh.mu.Lock()
 		sh.refreshLoadLocked()
 		sh.mu.Unlock()
@@ -186,6 +227,7 @@ func New(cfg Config) (*Arbitrator, error) {
 		a.metrics.bindShards(len(a.shards))
 		a.publishMetrics()
 	}
+	a.publishHeadroom()
 	return a, nil
 }
 
@@ -386,6 +428,7 @@ func (a *Arbitrator) NegotiateDAG(job core.DAGJob) (*qos.Grant, error) {
 				a.metrics.Admitted.Add(1)
 				a.publishMetrics()
 			}
+			a.publishHeadroom()
 			return &qos.Grant{
 				JobID:     job.ID,
 				Chain:     pl.Chain,
@@ -412,6 +455,7 @@ func (a *Arbitrator) finishAdmit(job core.Job, g *qos.Grant, sh *Shard, probeRan
 		}
 		a.publishMetrics()
 	}
+	a.publishHeadroom()
 	a.record(qos.Decision{Job: job, Grant: g, Now: a.Now()})
 }
 
@@ -420,7 +464,78 @@ func (a *Arbitrator) finishReject(job core.Job) {
 		a.metrics.Rejected.Add(1)
 		a.publishMetrics()
 	}
+	a.publishHeadroom()
 	a.record(qos.Decision{Job: job, Rejected: true, Now: a.Now()})
+}
+
+// publishHeadroom merges the shards' cached admissibility frontiers into
+// the plane-wide frontier and hands it to the configured sink.  It reads
+// only the shards' lock-free headroom caches; with forecasting disabled
+// (HeadroomHorizon == 0) it is a single comparison.
+func (a *Arbitrator) publishHeadroom() {
+	if a.headroomHorizon <= 0 || a.headroomSink == nil {
+		return
+	}
+	hr, any := a.cachedHeadroom()
+	if any {
+		a.headroomSink(hr)
+	}
+}
+
+// cachedHeadroom merges the shards' cached frontiers (lock-free reads).
+func (a *Arbitrator) cachedHeadroom() (core.Headroom, bool) {
+	var out core.Headroom
+	any := false
+	for _, sh := range a.shards {
+		hr, ok := sh.HeadroomSignal()
+		if !ok {
+			continue
+		}
+		if !any {
+			out, any = hr, true
+		} else {
+			out = out.Merge(hr)
+		}
+	}
+	return out, any
+}
+
+// Headroom returns the plane-wide admissibility frontier over
+// [now, now+horizon), recomputed live from every shard's profile under
+// its lock and merged per-axis (a job is admissible somewhere if some
+// shard can take it; shards never co-schedule one rigid task).
+func (a *Arbitrator) Headroom(horizon float64) core.Headroom {
+	var out core.Headroom
+	for i, sh := range a.shards {
+		hr := sh.HeadroomLive(horizon)
+		if i == 0 {
+			out = hr
+		} else {
+			out = out.Merge(hr)
+		}
+	}
+	return out
+}
+
+// WhatIf replays the job under a counterfactual delta against every
+// shard's forked schedule (lock held only for the fork), returning the
+// first admissible placement in shard order.  Like the monolithic
+// counterpart it mutates nothing and emits no diagnoses; a 1-shard plane
+// answers exactly what qos.Arbitrator.WhatIf answers.
+func (a *Arbitrator) WhatIf(job core.Job, d core.WhatIfDelta) (*core.Placement, bool) {
+	for _, sh := range a.shards {
+		if pl, ok := sh.whatIf(job, d); ok {
+			return pl, true
+		}
+	}
+	return nil, false
+}
+
+// Diagnose explains why the job fails on the least-loaded candidate
+// shard (the shard the router would have probed first), stamped with
+// that shard's id.
+func (a *Arbitrator) Diagnose(job core.Job) *core.PlanDiagnosis {
+	return a.shards[a.candidates()[0]].diagnose(job)
 }
 
 func (a *Arbitrator) record(d qos.Decision) {
@@ -453,6 +568,7 @@ func (a *Arbitrator) Observe(now float64) {
 	if a.metrics != nil {
 		a.publishMetrics()
 	}
+	a.publishHeadroom()
 }
 
 // Now returns the last observed time.

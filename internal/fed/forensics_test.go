@@ -1,0 +1,231 @@
+package fed
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"milan/internal/core"
+)
+
+// TestFedDiagnosisStampsShardAndClosesLoop drives an overloaded plane
+// with a diagnosis sink installed and checks the forensics contract:
+// every rejection produces at least one diagnosis, every diagnosis is
+// stamped with a real shard id, and replaying a rejected job's suggested
+// relaxation through the plane's side-effect-free WhatIf admits it.
+func TestFedDiagnosisStampsShardAndClosesLoop(t *testing.T) {
+	const procs, shards = 8, 2
+	var mu sync.Mutex
+	var diags []*core.PlanDiagnosis
+	plane, err := New(Config{
+		Procs:  procs,
+		Shards: shards,
+		Diagnosis: func(d *core.PlanDiagnosis) {
+			mu.Lock()
+			diags = append(diags, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := smallStream(200, 3, 7) // heavy overload: plenty of rejections
+	rejected := make(map[int]core.Job)
+	for _, job := range jobs {
+		plane.Observe(job.Release)
+		if _, err := plane.Negotiate(job); err != nil {
+			rejected[job.ID] = job
+		}
+	}
+	if len(rejected) == 0 {
+		t.Fatal("degenerate stream: nothing rejected")
+	}
+	if len(diags) < len(rejected) {
+		t.Fatalf("%d diagnoses for %d rejections", len(diags), len(rejected))
+	}
+	seen := make(map[int]bool)
+	for _, d := range diags {
+		if d.Shard < 0 || d.Shard >= shards {
+			t.Fatalf("diagnosis for job %d carries shard %d (plane has %d)", d.JobID, d.Shard, shards)
+		}
+		seen[d.JobID] = true
+	}
+	for id := range rejected {
+		if !seen[id] {
+			t.Fatalf("rejected job %d has no diagnosis", id)
+		}
+	}
+
+	// Closed loop at the plane level: Diagnose explains, WhatIf confirms.
+	verified := 0
+	for id, job := range rejected {
+		d := plane.Diagnose(job)
+		if d == nil || d.Suggestion == nil {
+			continue
+		}
+		if _, ok := plane.WhatIf(job, *d.Suggestion); !ok {
+			t.Fatalf("job %d: verified suggestion %+v did not admit on replay", id, *d.Suggestion)
+		}
+		verified++
+		if verified >= 10 {
+			break
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no rejected job carried a suggestion to verify")
+	}
+	if err := plane.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFedHeadroomForecast checks the plane's live headroom signal: the
+// sink is fed on construction and on committed mutations, each shard's
+// lock-free cached frontier matches a live recompute when the plane is
+// quiescent, and the plane-wide frontier is the per-axis merge of the
+// shard frontiers.
+func TestFedHeadroomForecast(t *testing.T) {
+	const procs, shards, horizon = 8, 2, 200.0
+	var mu sync.Mutex
+	var published []core.Headroom
+	plane, err := New(Config{
+		Procs:           procs,
+		Shards:          shards,
+		HeadroomHorizon: horizon,
+		HeadroomSink: func(h core.Headroom) {
+			mu.Lock()
+			published = append(published, h)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Construction advertises the empty plane: each shard offers its full
+	// width over the whole window.
+	if len(published) == 0 {
+		t.Fatal("no frontier advertised at construction")
+	}
+	if first := published[0]; first.MaxProcs != procs/shards {
+		t.Fatalf("empty-plane frontier MaxProcs = %d, want %d", first.MaxProcs, procs/shards)
+	}
+
+	admitted := 0
+	for _, job := range smallStream(60, 10, 3) {
+		plane.Observe(job.Release)
+		if _, err := plane.Negotiate(job); err == nil {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("degenerate stream: nothing admitted")
+	}
+	mu.Lock()
+	n := len(published)
+	mu.Unlock()
+	// Every admission and observation republished the frontier at least
+	// once (plus the rejects); just require the signal to be live.
+	if n < admitted {
+		t.Fatalf("only %d advertisements for %d admissions", n, admitted)
+	}
+
+	// Quiescent now: cached per-shard signals must equal live recomputes,
+	// and the plane merge must fold them in shard order.
+	var want core.Headroom
+	for i := 0; i < plane.Shards(); i++ {
+		sh := plane.Shard(i)
+		cached, ok := sh.HeadroomSignal()
+		if !ok {
+			t.Fatalf("shard %d has no cached frontier", i)
+		}
+		live := sh.HeadroomLive(horizon)
+		if !reflect.DeepEqual(cached, live) {
+			t.Fatalf("shard %d cached frontier %+v != live %+v", i, cached, live)
+		}
+		if i == 0 {
+			want = live
+		} else {
+			want = want.Merge(live)
+		}
+	}
+	if got := plane.Headroom(horizon); !reflect.DeepEqual(got, want) {
+		t.Fatalf("plane frontier %+v != merged shard frontiers %+v", got, want)
+	}
+	if got, ok := plane.cachedHeadroom(); !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached plane frontier %+v (ok=%v) != merged live %+v", got, ok, want)
+	}
+}
+
+// TestConcurrentWhatIfProbesDoNotPerturbAdmissions is the isolation
+// property under -race: a plane hammered by concurrent WhatIf probes,
+// Diagnose calls and headroom reads while it sequentially admits the
+// Figure-4 stream must produce bitwise the same decision history and
+// statistics as an unprobed plane replaying the same stream.
+func TestConcurrentWhatIfProbesDoNotPerturbAdmissions(t *testing.T) {
+	const procs, shards = 16, 4
+	jobs := smallStream(300, 5, 11)
+
+	clean, err := New(Config{Procs: procs, Shards: shards, KeepHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		clean.Observe(job.Release)
+		clean.Negotiate(job)
+	}
+
+	probed, err := New(Config{Procs: procs, Shards: shards, KeepHistory: true, HeadroomHorizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			probes := smallStream(40, 5, seed)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				job := probes[i%len(probes)]
+				probed.WhatIf(job, core.WhatIfDelta{ExtraProcs: 2})
+				probed.WhatIf(job, core.WhatIfDelta{ExtraDeadline: 50, OnlyChain: 1})
+				probed.Diagnose(job)
+				probed.Headroom(100)
+				if i%8 == 0 {
+					for s := 0; s < probed.Shards(); s++ {
+						probed.Shard(s).HeadroomSignal()
+					}
+				}
+			}
+		}(int64(100 + w))
+	}
+	for _, job := range jobs {
+		probed.Observe(job.Release)
+		probed.Negotiate(job)
+	}
+	close(stop)
+	wg.Wait()
+
+	if cs, ps := clean.Stats(), probed.Stats(); !reflect.DeepEqual(cs, ps) {
+		t.Fatalf("stats diverged under probes\nclean:  %+v\nprobed: %+v", cs, ps)
+	}
+	ch, ph := clean.History(), probed.History()
+	if len(ch) != len(ph) {
+		t.Fatalf("history lengths differ: clean %d, probed %d", len(ch), len(ph))
+	}
+	for i := range ch {
+		if !reflect.DeepEqual(ch[i], ph[i]) {
+			t.Fatalf("decision %d diverged under probes\nclean:  %+v\nprobed: %+v", i, ch[i], ph[i])
+		}
+	}
+	if err := probed.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -228,4 +228,5 @@ func (r *Rebalancer) noteMoved(n int64) {
 		m.Migrations.Add(n)
 		r.arb.publishMetrics()
 	}
+	r.arb.publishHeadroom()
 }

@@ -38,14 +38,24 @@ type Shard struct {
 	// power-of-k-choices scan reads one atomic per shard without taking
 	// any lock.
 	loadBits atomic.Uint64
+
+	// headroomHorizon, when positive, turns on incremental maintenance of
+	// the shard's admissibility frontier (core.Headroom over
+	// [now, now+headroomHorizon)): the cached frontier is recomputed from
+	// MaximalHoles after every committed mutation and published through
+	// headroomPtr for lock-free plane-wide merging.  Zero keeps the commit
+	// path identical to the pre-forensics plane.
+	headroomHorizon float64
+	headroomPtr     atomic.Pointer[core.Headroom]
 }
 
-func newShard(id, procs int, origin float64, opts *core.Options, horizon float64) *Shard {
+func newShard(id, procs int, origin float64, opts *core.Options, horizon, headroomHorizon float64) *Shard {
 	return &Shard{
-		id:      id,
-		sched:   core.NewScheduler(procs, origin, opts),
-		now:     origin,
-		horizon: horizon,
+		id:              id,
+		sched:           core.NewScheduler(procs, origin, opts),
+		now:             origin,
+		horizon:         horizon,
+		headroomHorizon: headroomHorizon,
 	}
 }
 
@@ -124,6 +134,7 @@ func (sh *Shard) refreshLoadLocked() {
 		sh.loadArea = p.BusyOn(from, p.LastBreak())
 	}
 	sh.publishLoadLocked()
+	sh.refreshHeadroomLocked()
 }
 
 // bumpLoadLocked adds a freshly committed placement's area to the cached
@@ -132,6 +143,61 @@ func (sh *Shard) refreshLoadLocked() {
 func (sh *Shard) bumpLoadLocked(area float64) {
 	sh.loadArea += area
 	sh.publishLoadLocked()
+	sh.refreshHeadroomLocked()
+}
+
+// refreshHeadroomLocked recomputes the shard's cached admissibility
+// frontier (no-op unless the plane enables headroom forecasting).
+// Callers hold sh.mu.  One refresh costs O(n log n) in committed
+// reservations via MaximalHoles; it runs only on committed mutations,
+// never on probes.
+func (sh *Shard) refreshHeadroomLocked() {
+	if sh.headroomHorizon <= 0 {
+		return
+	}
+	hr := sh.sched.Headroom(sh.now, sh.headroomHorizon)
+	sh.headroomPtr.Store(&hr)
+}
+
+// HeadroomSignal returns the shard's cached admissibility frontier (read
+// lock-free) and whether headroom forecasting is enabled on this plane.
+func (sh *Shard) HeadroomSignal() (core.Headroom, bool) {
+	p := sh.headroomPtr.Load()
+	if p == nil {
+		return core.Headroom{}, false
+	}
+	return *p, true
+}
+
+// HeadroomLive recomputes the shard's frontier over [now, now+horizon)
+// from the live profile under the shard lock (the on-demand path for
+// reports; the cached signal serves the hot path).
+func (sh *Shard) HeadroomLive(horizon float64) core.Headroom {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sched.Headroom(sh.now, horizon)
+}
+
+// whatIf replays the job under the delta on a fork of this shard's
+// schedule.  The shard lock is held only for the fork; the counterfactual
+// planning runs outside the critical section, so probes never stall
+// concurrent admissions.
+func (sh *Shard) whatIf(job core.Job, d core.WhatIfDelta) (*core.Placement, bool) {
+	sh.mu.Lock()
+	f := sh.sched.Fork()
+	sh.mu.Unlock()
+	return core.WhatIfOn(f, job, d)
+}
+
+// diagnose explains why the job fails on this shard, stamped with the
+// shard id.  The lock is held for the analysis so the diagnosis is
+// consistent with one decision point.
+func (sh *Shard) diagnose(job core.Job) *core.PlanDiagnosis {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.sched.Diagnose(job)
+	d.Shard = sh.id
+	return d
 }
 
 func (sh *Shard) publishLoadLocked() {

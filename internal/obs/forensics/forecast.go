@@ -1,0 +1,127 @@
+// Headroom forecasting: the live "largest admissible job" signal.
+//
+// The Forecaster publishes the admission plane's advertised capacity
+// frontier (core.Headroom) as headroom_* gauges and audits it against
+// reality: a rejection whose demand rectangle the advertised frontier
+// claimed to fit is a forecast miss.  The miss ratio feeds the SLO
+// engine's forecast objective — a sustained miss burn rate means the
+// frontier is stale or the refresh horizon is too long, and QoS agents
+// steering by it are being misled.
+
+package forensics
+
+import (
+	"sync"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+)
+
+// Metric names published by Forecaster.BindMetrics.
+const (
+	// MetricHeadroomProcs / MetricHeadroomDuration / MetricHeadroomArea
+	// are the advertised frontier axes (widest task, longest run, largest
+	// width×duration rectangle).
+	MetricHeadroomProcs    = "headroom_max_procs"
+	MetricHeadroomDuration = "headroom_max_duration"
+	MetricHeadroomArea     = "headroom_max_area"
+	// MetricForecastChecks counts rejections audited against the
+	// advertised frontier; MetricForecastMisses counts the subset whose
+	// demand the frontier had claimed to fit.
+	MetricForecastChecks = "headroom_forecast_checks"
+	MetricForecastMisses = "headroom_forecast_misses"
+)
+
+// Forecaster holds the most recently advertised admissibility frontier
+// and audits rejections against it.  Safe for concurrent use.
+type Forecaster struct {
+	mu         sync.Mutex
+	last       core.Headroom
+	advertised bool
+
+	gProcs, gDuration, gArea *obs.Gauge
+	checks, misses           *obs.Counter
+}
+
+// NewForecaster returns an empty forecaster (no frontier advertised yet).
+func NewForecaster() *Forecaster { return &Forecaster{} }
+
+// BindMetrics registers the headroom gauges and forecast-audit counters
+// on reg.  A nil registry is ignored.
+func (f *Forecaster) BindMetrics(reg *obs.Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	f.mu.Lock()
+	f.gProcs = reg.Gauge(MetricHeadroomProcs)
+	f.gDuration = reg.Gauge(MetricHeadroomDuration)
+	f.gArea = reg.Gauge(MetricHeadroomArea)
+	f.checks = reg.Counter(MetricForecastChecks)
+	f.misses = reg.Counter(MetricForecastMisses)
+	f.mu.Unlock()
+}
+
+// Advertise publishes a refreshed frontier (for a federated plane: the
+// per-shard frontiers merged via Headroom.Merge) and updates the gauges.
+func (f *Forecaster) Advertise(hr core.Headroom) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.last = hr
+	f.advertised = true
+	if f.gProcs != nil {
+		f.gProcs.Set(float64(hr.MaxProcs))
+		f.gDuration.Set(hr.MaxDuration)
+		f.gArea.Set(hr.MaxArea)
+	}
+	f.mu.Unlock()
+}
+
+// Last returns the most recently advertised frontier and whether one has
+// been advertised at all.
+func (f *Forecaster) Last() (core.Headroom, bool) {
+	if f == nil {
+		return core.Headroom{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last, f.advertised
+}
+
+// NoteRejection audits one rejection diagnosis against the advertised
+// frontier and reports whether it is a forecast miss: some
+// capacity-constrained candidate chain's demand rectangle
+// (WantProcs × WantDuration) lay inside the frontier the plane had
+// advertised, yet the plan failed.  Width- and deadline-constrained
+// chains are not counted — the frontier does not model machine growth or
+// job-internal deadlines, so those rejections are not forecast errors.
+// Returns false (and counts nothing) before the first Advertise.
+func (f *Forecaster) NoteRejection(d *core.PlanDiagnosis) bool {
+	if f == nil || d == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.advertised {
+		return false
+	}
+	if f.checks != nil {
+		f.checks.Inc()
+	}
+	miss := false
+	for i := range d.Chains {
+		cd := &d.Chains[i]
+		if cd.Schedulable || cd.Constraint != core.ConstraintCapacity {
+			continue
+		}
+		if f.last.Fits(cd.WantProcs, cd.WantDuration) {
+			miss = true
+			break
+		}
+	}
+	if miss && f.misses != nil {
+		f.misses.Inc()
+	}
+	return miss
+}

@@ -1,0 +1,364 @@
+// Package forensics is the admission-forensics layer: it retains the
+// rejection explanations the core planner emits (core.PlanDiagnosis),
+// exposes them to operators over the debug mux (/explain), serializes
+// them as JSONL for offline analysis, and keeps cause-annotated counters
+// in the metrics registry.  Together with the headroom Forecaster (see
+// forecast.go) it closes the loop the paper's tunability story needs:
+// every "no" the admission plane says comes with a machine-checkable
+// reason and a verified counterfactual that would have turned it into a
+// "yes".
+//
+// The Recorder is passive and opt-in: it is wired into the planner via
+// core.Options.Diagnosis (Sink), so a scheduler without a recorder pays
+// nothing, and a scheduler with one pays only on the failure path.
+package forensics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+)
+
+// Metric names published by Recorder.BindMetrics and
+// Forecaster.BindMetrics.
+const (
+	// MetricDiagnoses counts recorded rejection diagnoses.
+	MetricDiagnoses = "forensics_diagnoses"
+	// MetricRingDropped counts diagnoses evicted from the retention ring.
+	MetricRingDropped = "forensics_ring_dropped"
+	// MetricCauseWidth / MetricCauseDeadline / MetricCauseCapacity count
+	// failed candidate chains by binding constraint (one failed chain may
+	// be counted under exactly one cause).
+	MetricCauseWidth    = "forensics_cause_width"
+	MetricCauseDeadline = "forensics_cause_deadline"
+	MetricCauseCapacity = "forensics_cause_capacity"
+	// MetricSuggestions counts diagnoses that carried a verified
+	// WhatIfDelta suggestion.
+	MetricSuggestions = "forensics_suggestions"
+	// MetricWhatIfVerified / MetricWhatIfRefuted count closed-loop replay
+	// outcomes reported via MarkVerified.
+	MetricWhatIfVerified = "forensics_whatif_verified"
+	MetricWhatIfRefuted  = "forensics_whatif_refuted"
+)
+
+// Record is one retained rejection: the planner's diagnosis plus the
+// recorder's own envelope (sequence number, capture time, and — when the
+// closed loop has run — whether the diagnosis's suggestion was verified
+// to admit the job).
+type Record struct {
+	// Seq is the 1-based capture sequence number (monotone across the
+	// recorder's lifetime, including evicted records).
+	Seq int64 `json:"seq"`
+	// At is the capture time on the recorder's clock (virtual time when
+	// driven by the simulator, seconds since recorder creation otherwise).
+	At float64 `json:"at"`
+	// Diag is the planner's rejection explanation.
+	Diag *core.PlanDiagnosis `json:"diag"`
+	// Verified, when non-nil, reports whether replaying Diag.Suggestion
+	// via WhatIf admitted the job (set by MarkVerified).
+	Verified *bool `json:"verified,omitempty"`
+}
+
+// recorderMetrics is the set of counters Record/MarkVerified touch,
+// resolved once by BindMetrics (nil when metrics are not bound).
+type recorderMetrics struct {
+	diagnoses   *obs.Counter
+	ringDropped *obs.Counter
+	causeWidth  *obs.Counter
+	causeDead   *obs.Counter
+	causeCap    *obs.Counter
+	suggestions *obs.Counter
+	verified    *obs.Counter
+	refuted     *obs.Counter
+}
+
+// Recorder retains the most recent rejection diagnoses in a bounded ring
+// (obs.Ring), with a per-job index for O(1) "explain this job" lookups.
+// All methods are safe for concurrent use; the Sink may be installed on
+// schedulers running under different locks (e.g. every shard of a
+// federated plane).
+type Recorder struct {
+	mu    sync.Mutex
+	clock func() float64
+	ring  *obs.Ring[*Record]
+	byJob map[int]*Record
+	seq   int64
+	m     *recorderMetrics
+}
+
+// DefaultRingSize is the retention ring capacity when NewRecorder is
+// given a non-positive size.
+const DefaultRingSize = 1024
+
+// NewRecorder returns a recorder retaining up to n diagnoses (n <= 0
+// selects DefaultRingSize).  The default clock is wall time in seconds
+// since creation; simulators override it with SetClock.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	start := time.Now()
+	return &Recorder{
+		clock: func() float64 { return time.Since(start).Seconds() },
+		ring:  obs.NewRing[*Record](n),
+		byJob: make(map[int]*Record, n),
+	}
+}
+
+// SetClock replaces the recorder's time source (e.g. the simulator's
+// virtual clock).  A nil clock is ignored.
+func (r *Recorder) SetClock(clock func() float64) {
+	if clock == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// BindMetrics registers the forensics counters on reg and keeps the
+// resolved pointers, so recording stays allocation-free.  A nil registry
+// is ignored.
+func (r *Recorder) BindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &recorderMetrics{
+		diagnoses:   reg.Counter(MetricDiagnoses),
+		ringDropped: reg.Counter(MetricRingDropped),
+		causeWidth:  reg.Counter(MetricCauseWidth),
+		causeDead:   reg.Counter(MetricCauseDeadline),
+		causeCap:    reg.Counter(MetricCauseCapacity),
+		suggestions: reg.Counter(MetricSuggestions),
+		verified:    reg.Counter(MetricWhatIfVerified),
+		refuted:     reg.Counter(MetricWhatIfRefuted),
+	}
+	r.mu.Lock()
+	r.m = m
+	r.mu.Unlock()
+}
+
+// Sink returns the function to install as core.Options.Diagnosis (or
+// fed.Config.Diagnosis): every rejection explanation the planner emits is
+// recorded.  A nil recorder yields a nil sink, preserving the zero-cost
+// default.
+func (r *Recorder) Sink() func(*core.PlanDiagnosis) {
+	if r == nil {
+		return nil
+	}
+	return r.Record
+}
+
+// Record retains one diagnosis.  Nil diagnoses are ignored.
+func (r *Recorder) Record(d *core.PlanDiagnosis) {
+	if r == nil || d == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	rec := &Record{Seq: r.seq, At: r.clock(), Diag: d}
+	if ev, ok := r.ring.Push(rec); ok {
+		// Unlink the evicted record from the per-job index, but only if
+		// the index still points at it (a newer record for the same job
+		// must survive).
+		if cur, live := r.byJob[ev.Diag.JobID]; live && cur == ev {
+			delete(r.byJob, ev.Diag.JobID)
+		}
+		if r.m != nil {
+			r.m.ringDropped.Inc()
+		}
+	}
+	r.byJob[d.JobID] = rec
+	if r.m != nil {
+		r.m.diagnoses.Inc()
+		if d.Suggestion != nil {
+			r.m.suggestions.Inc()
+		}
+		for i := range d.Chains {
+			if d.Chains[i].Schedulable {
+				continue
+			}
+			switch d.Chains[i].Constraint {
+			case core.ConstraintWidth:
+				r.m.causeWidth.Inc()
+			case core.ConstraintDeadline:
+				r.m.causeDead.Inc()
+			case core.ConstraintCapacity:
+				r.m.causeCap.Inc()
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// MarkVerified records the closed-loop outcome for the job's latest
+// retained diagnosis: ok means replaying the suggestion via WhatIf
+// admitted the job.  It reports whether a record for the job was found.
+func (r *Recorder) MarkVerified(jobID int, ok bool) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, found := r.byJob[jobID]
+	if !found {
+		return false
+	}
+	v := ok
+	rec.Verified = &v
+	if r.m != nil {
+		if ok {
+			r.m.verified.Inc()
+		} else {
+			r.m.refuted.Inc()
+		}
+	}
+	return true
+}
+
+// LastFor returns a copy of the latest retained record for the job (the
+// Diag pointer is shared; diagnoses are immutable once emitted).
+func (r *Recorder) LastFor(jobID int) (Record, bool) {
+	if r == nil {
+		return Record{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.byJob[jobID]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Records returns copies of the retained records, oldest first.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := r.ring.Items()
+	out := make([]Record, len(items))
+	for i, rec := range items {
+		out[i] = *rec
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Len()
+}
+
+// Total returns the number of diagnoses ever recorded.
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Total()
+}
+
+// Dropped returns how many records were evicted because the ring wrapped.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Dropped()
+}
+
+// WriteJSONL streams the retained records to w, one JSON object per line,
+// oldest first — the format DecodeJSONL (and the CI rejection-cause
+// artifact) reads back.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL parses a WriteJSONL stream back into records.  Blank lines
+// are skipped; a malformed line or a record without a diagnosis is an
+// error (the decoder is the fuzz target FuzzDiagnosisDecode).
+func DecodeJSONL(rd io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("forensics: line %d: %w", line, err)
+		}
+		if rec.Diag == nil {
+			return nil, fmt.Errorf("forensics: line %d: record without a diagnosis", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("forensics: line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// Handler serves the /explain endpoint: with ?job=ID, the latest retained
+// diagnosis for that job as indented JSON (404 when none is retained);
+// without, the whole retention ring as JSONL.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if q := req.URL.Query().Get("job"); q != "" {
+			id, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad job id %q: %v", q, err), http.StatusBadRequest)
+				return
+			}
+			rec, ok := r.LastFor(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("no diagnosis retained for job %d", id), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(rec)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		r.WriteJSONL(w)
+	})
+}
+
+// Mount attaches the recorder to an Observer's debug endpoint at
+// /explain.  Nil recorder or observer is a no-op.
+func (r *Recorder) Mount(o *obs.Observer) {
+	if r == nil || o == nil {
+		return
+	}
+	o.Handle("/explain", r.Handler(), "latest rejection diagnoses (?job=ID for one job, bare for JSONL)")
+}

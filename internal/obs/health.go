@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"sort"
+	"strings"
 )
 
 // healthCheck is one named readiness probe served by /healthz.
@@ -19,8 +20,10 @@ type extraRoute struct {
 }
 
 // Handle mounts an extra handler on the observer's debug endpoint at the
-// given exact path (e.g. "/slo"), listed in the endpoint index with the
-// given one-line help.  Extensions may be mounted before or after
+// given path (e.g. "/slo"), listed in the endpoint index with the given
+// one-line help.  A pattern ending in "/" matches the whole subtree
+// rooted there (longest prefix wins, exact matches first) — the pprof
+// mount relies on this.  Extensions may be mounted before or after
 // Handler() is called; the dispatch is dynamic.  Mounting a nil handler
 // removes the route.
 func (o *Observer) Handle(pattern string, h http.Handler, help string) {
@@ -108,13 +111,23 @@ func (o *Observer) extraRoutes() []string {
 	return out
 }
 
-// lookupExtra returns the extension handler mounted at path, if any.
+// lookupExtra returns the extension handler mounted at path: an exact
+// match first, otherwise the longest registered "/"-terminated prefix
+// covering the path (subtree mounts like /debug/pprof/).
 func (o *Observer) lookupExtra(path string) (http.Handler, bool) {
 	o.webMu.Lock()
 	defer o.webMu.Unlock()
-	r, ok := o.extra[path]
-	if !ok {
-		return nil, false
+	if r, ok := o.extra[path]; ok {
+		return r.handler, true
 	}
-	return r.handler, true
+	var (
+		best    string
+		handler http.Handler
+	)
+	for p, r := range o.extra {
+		if strings.HasSuffix(p, "/") && strings.HasPrefix(path, p) && len(p) > len(best) {
+			best, handler = p, r.handler
+		}
+	}
+	return handler, handler != nil
 }

@@ -40,6 +40,10 @@ type Config struct {
 	// SpanRingSize is the tracer's completed-span ring capacity (0 means
 	// 8192).  Ignored unless Tracing.
 	SpanRingSize int
+	// EnablePprof mounts the Go runtime profiler under /debug/pprof/ on
+	// the debug endpoint (see Observer.EnablePprof).  Off by default:
+	// profiling endpoints perturb the hot paths they measure.
+	EnablePprof bool
 }
 
 // Observer ties the metrics registry and the trace sinks together and
@@ -98,6 +102,9 @@ func New(cfg Config) *Observer {
 		o.tracer = NewTracer(cfg.SpanRingSize)
 		o.tracer.SetClock(cfg.Clock)
 		o.planSpans = make(map[TraceID]*ActiveSpan)
+	}
+	if cfg.EnablePprof {
+		o.EnablePprof()
 	}
 	return o
 }

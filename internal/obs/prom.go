@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format served by /metrics?format=prom.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative _bucket series with _sum and _count,
+// Welford stats as _mean/_std/_count gauges.  Metric names in this
+// codebase are already snake_case identifiers; anything else is
+// normalized defensively.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative from -Inf; observations below
+		// the histogram's range fold into the first bucket's count.
+		width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+		cum := h.Under
+		for i, c := range h.Buckets {
+			cum += c
+			le := h.Lo + float64(i+1)*width
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			n, h.Count, n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Stats) {
+		st := s.Stats[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_mean gauge\n%s_mean %s\n# TYPE %s_std gauge\n%s_std %s\n# TYPE %s_count gauge\n%s_count %d\n",
+			n, n, promFloat(st.Mean), n, n, promFloat(st.Std), n, n, st.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName normalizes a metric name into the Prometheus identifier
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float sample (Prometheus accepts Go's shortest
+// representation; infinities spell +Inf/-Inf, NaN spells NaN).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// wantsProm decides the /metrics representation: an explicit
+// ?format=prom|json query parameter wins; otherwise an Accept header
+// preferring text/plain or the OpenMetrics type (what a Prometheus
+// scraper sends) selects the text format, and everything else keeps the
+// expvar-style JSON default.
+func wantsProm(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "application/openmetrics-text")
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sched_plans").Add(7)
+	reg.Gauge("fed_load_spread").Set(0.25)
+	h := reg.Histogram("admit_latency", 0, 1, 4)
+	h.Observe(0.1)  // bucket 0
+	h.Observe(0.6)  // bucket 2
+	h.Observe(-1)   // under: folds into every cumulative bucket
+	h.Observe(5)    // over: only in +Inf
+	reg.Stat("quality").Observe(2)
+	reg.Stat("quality").Observe(4)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sched_plans counter\nsched_plans 7\n",
+		"# TYPE fed_load_spread gauge\nfed_load_spread 0.25\n",
+		"# TYPE admit_latency histogram\n",
+		`admit_latency_bucket{le="0.25"} 2`, // under + bucket0
+		`admit_latency_bucket{le="0.5"} 2`,
+		`admit_latency_bucket{le="0.75"} 3`,
+		`admit_latency_bucket{le="1"} 3`,
+		`admit_latency_bucket{le="+Inf"} 4`,
+		"admit_latency_sum 4.7\n",
+		"admit_latency_count 4\n",
+		"quality_mean 3\n",
+		"quality_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameNormalization(t *testing.T) {
+	if got := promName("9bad.name-x"); got != "_bad_name_x" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("sched_plans"); got != "sched_plans" {
+		t.Fatalf("promName mangled a clean name: %q", got)
+	}
+}
+
+// TestMetricsContentNegotiation is the satellite's acceptance test: the
+// same /metrics route serves expvar JSON by default and the Prometheus
+// text format under ?format=prom or a scraper Accept header.
+func TestMetricsContentNegotiation(t *testing.T) {
+	o := New(Config{})
+	o.Reg.Counter("sched_plans").Add(3)
+	h := o.Handler()
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		rw := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		h.ServeHTTP(rw, req)
+		return rw
+	}
+
+	// Default: JSON.
+	rw := get("/metrics", "")
+	if rw.Code != 200 || !strings.HasPrefix(rw.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("default /metrics: %d %q", rw.Code, rw.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rw.Body.String(), `"sched_plans": 3`) {
+		t.Fatalf("JSON body: %s", rw.Body.String())
+	}
+
+	// ?format=prom: text exposition format.
+	rw = get("/metrics?format=prom", "")
+	if rw.Code != 200 || rw.Header().Get("Content-Type") != PromContentType {
+		t.Fatalf("prom /metrics: %d %q", rw.Code, rw.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rw.Body.String(), "# TYPE sched_plans counter\nsched_plans 3\n") {
+		t.Fatalf("prom body: %s", rw.Body.String())
+	}
+
+	// A Prometheus scraper's Accept header selects prom without a query.
+	rw = get("/metrics", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	if rw.Header().Get("Content-Type") != PromContentType {
+		t.Fatalf("Accept negotiation: %q", rw.Header().Get("Content-Type"))
+	}
+
+	// Explicit format=json wins over the scraper Accept header.
+	rw = get("/metrics?format=json", "text/plain")
+	if !strings.HasPrefix(rw.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("format=json override: %q", rw.Header().Get("Content-Type"))
+	}
+}
+
+func TestPprofMountedBehindFlag(t *testing.T) {
+	// Off by default: the subtree is not routed.
+	o := New(Config{})
+	rw := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rw.Code != 404 {
+		t.Fatalf("pprof served without the flag: %d", rw.Code)
+	}
+
+	// Config.EnablePprof mounts the index, named profiles and cmdline.
+	o = New(Config{EnablePprof: true})
+	h := o.Handler()
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: %d %s", rw.Code, rw.Body.String())
+	}
+	// Named profile resolves through the "/"-suffix prefix route.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), "goroutine") {
+		t.Fatalf("goroutine profile: %d", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rw.Code != 200 {
+		t.Fatalf("cmdline: %d", rw.Code)
+	}
+	// The index lists the mount.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rw.Body.String(), "/debug/pprof/") {
+		t.Fatalf("endpoint index does not list pprof: %s", rw.Body.String())
+	}
+}

@@ -1,0 +1,114 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"milan/internal/obs"
+)
+
+// TestForecastObjectiveOffUntilFirstSample pins the activation contract:
+// the headroom-forecast objective costs nothing and alerts on nothing
+// until the first ObserveForecast sample arrives.
+func TestForecastObjectiveOffUntilFirstSample(t *testing.T) {
+	e := New(Options{ShortWindow: 10, LongWindow: 100, Buckets: 10, BurnThreshold: 2})
+	e.Tick(1)
+	r := e.Report()
+	if r.ForecastChecks != 0 || r.ForecastBurnShort != 0 || len(r.Alerts) != 0 {
+		t.Fatalf("forecast objective active without samples: %+v", r)
+	}
+	var buf strings.Builder
+	if err := e.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "headroom forecast") {
+		t.Fatalf("report mentions forecast without samples:\n%s", buf.String())
+	}
+}
+
+// TestForecastBurnAlert drives the headroom-forecast objective into a
+// sustained miss burn and checks the full surface: burn gauges, the
+// edge-triggered alert, report counters and the report line.
+func TestForecastBurnAlert(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Registry: reg, ShortWindow: 10, LongWindow: 100, Buckets: 10,
+		ForecastBudget: 0.1, BurnThreshold: 2})
+	// Every audited rejection is a forecast miss: error rate 1.0 over a
+	// 0.1 budget -> burn 10 on both windows.
+	for i := 0; i < 20; i++ {
+		e.ObserveForecast(float64(i)*0.1, true)
+	}
+	e.Tick(2.0)
+	r := e.Report()
+	if r.ForecastChecks != 20 || r.ForecastMisses != 20 {
+		t.Fatalf("forecast counters wrong: %+v", r)
+	}
+	if r.ForecastBurnShort < 2 || r.ForecastBurnLong < 2 {
+		t.Fatalf("forecast burn not elevated: %+v", r)
+	}
+	found := false
+	for _, a := range r.Alerts {
+		if a.Objective == "headroom-forecast" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no headroom-forecast alert: %+v", r.Alerts)
+	}
+	if g := reg.Gauge(MetricForecastBurnShort).Value(); g < 2 {
+		t.Fatalf("%s gauge = %v", MetricForecastBurnShort, g)
+	}
+	var buf strings.Builder
+	if err := e.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "headroom forecast: misses=20/20") {
+		t.Fatalf("report missing forecast line:\n%s", buf.String())
+	}
+
+	// Edge-triggered: still burning, no second alert.
+	e.Tick(2.5)
+	n := 0
+	for _, a := range e.Report().Alerts {
+		if a.Objective == "headroom-forecast" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("forecast alert re-fired while burning: %d", n)
+	}
+}
+
+// TestForecastAccurateFrontierStaysQuiet feeds only accurate forecasts
+// (every audited rejection was predicted): the burn stays at zero and no
+// alert fires.
+func TestForecastAccurateFrontierStaysQuiet(t *testing.T) {
+	e := New(Options{ShortWindow: 10, LongWindow: 100, Buckets: 10,
+		ForecastBudget: 0.1, BurnThreshold: 2})
+	for i := 0; i < 50; i++ {
+		e.ObserveForecast(float64(i)*0.05, false)
+	}
+	e.Tick(3)
+	r := e.Report()
+	if r.ForecastMisses != 0 || r.ForecastChecks != 50 {
+		t.Fatalf("counters wrong: %+v", r)
+	}
+	if r.ForecastBurnShort != 0 || r.ForecastBurnLong != 0 {
+		t.Fatalf("burn on an accurate frontier: %+v", r)
+	}
+	for _, a := range r.Alerts {
+		if a.Objective == "headroom-forecast" {
+			t.Fatalf("spurious forecast alert: %+v", a)
+		}
+	}
+}
+
+// TestNilEngineForecastSafe extends the nil-receiver contract to the
+// forecast feed.
+func TestNilEngineForecastSafe(t *testing.T) {
+	var e *Engine
+	e.ObserveForecast(1, true) // must not panic
+	if r := e.Report(); r.ForecastChecks != 0 {
+		t.Fatalf("nil engine forecast counters: %+v", r)
+	}
+}

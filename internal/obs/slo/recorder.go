@@ -134,10 +134,8 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 // and safe on a nil receiver.
 type Recorder struct {
 	mu       sync.Mutex
-	spans    []obs.SpanRec
-	spanNext int
-	events   []obs.Event
-	evNext   int
+	spans    *obs.Ring[obs.SpanRec]
+	events   *obs.Ring[obs.Event]
 	snaps    []*Snapshot
 	maxSnaps int
 	triggers int64
@@ -157,8 +155,8 @@ func NewRecorder(spanCap, eventCap int) *Recorder {
 		eventCap = 4096
 	}
 	return &Recorder{
-		spans:    make([]obs.SpanRec, 0, spanCap),
-		events:   make([]obs.Event, 0, eventCap),
+		spans:    obs.NewRing[obs.SpanRec](spanCap),
+		events:   obs.NewRing[obs.Event](eventCap),
 		maxSnaps: 16,
 		lastCut:  make(map[TriggerKind]float64),
 	}
@@ -191,12 +189,7 @@ func (r *Recorder) RecordSpan(rec obs.SpanRec) {
 		return
 	}
 	r.mu.Lock()
-	if len(r.spans) < cap(r.spans) {
-		r.spans = append(r.spans, rec)
-	} else {
-		r.spans[r.spanNext] = rec
-	}
-	r.spanNext = (r.spanNext + 1) % cap(r.spans)
+	r.spans.Push(rec)
 	r.mu.Unlock()
 }
 
@@ -207,24 +200,31 @@ func (r *Recorder) Emit(ev obs.Event) {
 		return
 	}
 	r.mu.Lock()
-	if len(r.events) < cap(r.events) {
-		r.events = append(r.events, ev)
-	} else {
-		r.events[r.evNext] = ev
-	}
-	r.evNext = (r.evNext + 1) % cap(r.events)
+	r.events.Push(ev)
 	r.mu.Unlock()
 }
 
-// ringCopy returns ring contents oldest-first.
-func ringCopy[T any](buf []T, next int) []T {
-	if len(buf) < cap(buf) {
-		return append([]T(nil), buf...)
+// SpansDropped returns how many spans were evicted from the span ring
+// because it wrapped (anomalies older than the retention window are no
+// longer replayable).
+func (r *Recorder) SpansDropped() int64 {
+	if r == nil {
+		return 0
 	}
-	out := make([]T, 0, len(buf))
-	out = append(out, buf[next:]...)
-	out = append(out, buf[:next]...)
-	return out
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans.Dropped()
+}
+
+// EventsDropped returns how many decision events were evicted from the
+// event ring because it wrapped.
+func (r *Recorder) EventsDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events.Dropped()
 }
 
 // Trigger freezes the rings into a snapshot for the given anomaly.
@@ -248,8 +248,8 @@ func (r *Recorder) Trigger(kind TriggerKind, trace uint64, now float64, note str
 		Trace:   trace,
 		At:      now,
 		Note:    note,
-		Spans:   ringCopy(r.spans, r.spanNext),
-		Events:  ringCopy(r.events, r.evNext),
+		Spans:   r.spans.Items(),
+		Events:  r.events.Items(),
 	}
 	r.snaps = append(r.snaps, snap)
 	if len(r.snaps) > r.maxSnaps {

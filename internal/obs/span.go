@@ -62,14 +62,11 @@ type Tracer struct {
 	traces atomic.Uint64
 	ids    atomic.Uint64
 
-	mu      sync.Mutex
-	clock   func() float64
-	start   time.Time
-	buf     []SpanRec
-	next    int
-	total   int64
-	dropped int64
-	onEnd   func(SpanRec)
+	mu    sync.Mutex
+	clock func() float64
+	start time.Time
+	ring  *Ring[SpanRec]
+	onEnd func(SpanRec)
 }
 
 // NewTracer returns a tracer retaining up to capacity completed spans
@@ -78,7 +75,7 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 8192
 	}
-	return &Tracer{buf: make([]SpanRec, 0, capacity), start: time.Now()}
+	return &Tracer{ring: NewRing[SpanRec](capacity), start: time.Now()}
 }
 
 // SetClock rebinds the tracer's timestamp source (e.g. a sim engine's Now).
@@ -237,14 +234,7 @@ func (s *ActiveSpan) EndAt(end float64) {
 // full, counted in Dropped) and forwards it to the OnEnd observer.
 func (t *Tracer) record(rec SpanRec) {
 	t.mu.Lock()
-	if len(t.buf) < cap(t.buf) {
-		t.buf = append(t.buf, rec)
-	} else {
-		t.buf[t.next] = rec
-		t.dropped++
-	}
-	t.next = (t.next + 1) % cap(t.buf)
-	t.total++
+	t.ring.Push(rec)
 	onEnd := t.onEnd
 	t.mu.Unlock()
 	if onEnd != nil {
@@ -260,13 +250,7 @@ func (t *Tracer) Spans() []SpanRec {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.buf) < cap(t.buf) {
-		return append([]SpanRec(nil), t.buf...)
-	}
-	out := make([]SpanRec, 0, len(t.buf))
-	out = append(out, t.buf[t.next:]...)
-	out = append(out, t.buf[:t.next]...)
-	return out
+	return t.ring.Items()
 }
 
 // Total returns the number of spans ever completed.
@@ -276,7 +260,7 @@ func (t *Tracer) Total() int64 {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.total
+	return t.ring.Total()
 }
 
 // Dropped returns how many completed spans were evicted from the ring.
@@ -286,7 +270,7 @@ func (t *Tracer) Dropped() int64 {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.dropped
+	return t.ring.Dropped()
 }
 
 // SpanNode is one node of a reconstructed span tree.

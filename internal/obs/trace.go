@@ -65,39 +65,27 @@ type TraceSink interface {
 	Emit(Event)
 }
 
-// RingSink retains the most recent events in a fixed-capacity ring buffer.
+// RingSink retains the most recent events in a fixed-capacity ring buffer
+// (a mutex-guarded Ring[Event] — see ring.go for the eviction contract).
 // When the ring wraps, the oldest events are evicted — never reordered —
 // and the eviction is accounted in Dropped rather than silently
 // overwritten: Events() always returns a contiguous, emission-ordered
 // suffix of the full stream, and Total() == Dropped() + len(Events()).
 type RingSink struct {
-	mu      sync.Mutex
-	buf     []Event
-	next    int
-	total   int64
-	dropped int64
+	mu   sync.Mutex
+	ring *Ring[Event]
 }
 
 // NewRingSink returns a ring buffer holding up to n events (n >= 1).
 func NewRingSink(n int) *RingSink {
-	if n < 1 {
-		panic(fmt.Sprintf("obs: ring capacity %d must be >= 1", n))
-	}
-	return &RingSink{buf: make([]Event, 0, n)}
+	return &RingSink{ring: NewRing[Event](n)}
 }
 
 // Emit appends an event, evicting the oldest when full (counted in
 // Dropped).
 func (r *RingSink) Emit(ev Event) {
 	r.mu.Lock()
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
-	} else {
-		r.buf[r.next] = ev
-		r.dropped++
-	}
-	r.next = (r.next + 1) % cap(r.buf)
-	r.total++
+	r.ring.Push(ev)
 	r.mu.Unlock()
 }
 
@@ -105,20 +93,14 @@ func (r *RingSink) Emit(ev Event) {
 func (r *RingSink) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.buf) < cap(r.buf) {
-		return append([]Event(nil), r.buf...)
-	}
-	out := make([]Event, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
+	return r.ring.Items()
 }
 
 // Total returns the number of events ever emitted (including evicted ones).
 func (r *RingSink) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.total
+	return r.ring.Total()
 }
 
 // Dropped returns how many events were evicted from the ring because it
@@ -126,7 +108,7 @@ func (r *RingSink) Total() int64 {
 func (r *RingSink) Dropped() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.dropped
+	return r.ring.Dropped()
 }
 
 // JSONLSink writes each event as one JSON line.  Writes are buffered;

@@ -193,6 +193,38 @@ func (a *Arbitrator) IndexStats() core.IndexStats {
 	return a.sched.IndexStats()
 }
 
+// WhatIf replays the job on a fork of the arbitrator's schedule under a
+// counterfactual delta (extra processors, extra deadline, width cap,
+// single chain), answering "what would it have taken to admit this job?"
+// without mutating any live state.  The arbitrator's lock is held only
+// for the fork; the replanning runs outside the critical section, so
+// concurrent negotiations are not stalled by operator probes.
+func (a *Arbitrator) WhatIf(job core.Job, d core.WhatIfDelta) (*core.Placement, bool) {
+	a.mu.Lock()
+	f := a.sched.Fork()
+	a.mu.Unlock()
+	return core.WhatIfOn(f, job, d)
+}
+
+// Diagnose explains why the job is (or would be) rejected: per-chain
+// failure analysis with a replay-verified minimal-slack suggestion.  It
+// never mutates the schedule; the lock is held for the analysis so the
+// diagnosis is consistent with one decision point.
+func (a *Arbitrator) Diagnose(job core.Job) *core.PlanDiagnosis {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.Diagnose(job)
+}
+
+// Headroom returns the machine's admissibility frontier over
+// [now, now+horizon): the largest job the arbitrator could still admit
+// without queueing behind existing reservations.
+func (a *Arbitrator) Headroom(horizon float64) core.Headroom {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.Headroom(a.now, horizon)
+}
+
 // History returns the recorded decisions (empty unless KeepHistory).
 func (a *Arbitrator) History() []Decision {
 	a.mu.Lock()

@@ -27,9 +27,12 @@
 package milan
 
 import (
+	"io"
+
 	"milan/internal/core"
 	"milan/internal/fed"
 	"milan/internal/obs"
+	"milan/internal/obs/forensics"
 	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/taskgraph"
@@ -304,6 +307,58 @@ func NewFederatedArbitrator(cfg FedConfig) (*FedArbitrator, error) {
 // NewFedMetrics resolves the plane's instruments in a registry, for
 // FedConfig.Metrics.
 func NewFedMetrics(reg *Registry) *FedMetrics { return fed.NewMetrics(reg) }
+
+// Admission forensics (rejection explainer, counterfactual what-if
+// probes, headroom forecasting — internal/core + internal/obs/forensics).
+type (
+	// PlanDiagnosis explains one failed planning pass per candidate chain,
+	// with a replay-verified suggestion that would admit the job.
+	PlanDiagnosis = core.PlanDiagnosis
+	// ChainDiagnosis is one candidate chain's failure analysis.
+	ChainDiagnosis = core.ChainDiagnosis
+	// SlackVector is the per-axis minimal relaxation admitting a chain.
+	SlackVector = core.SlackVector
+	// Constraint names the binding constraint of a failed placement
+	// (width, deadline or capacity).
+	Constraint = core.Constraint
+	// WhatIfDelta is a counterfactual relaxation for Scheduler.WhatIf /
+	// Arbitrator.WhatIf probes.
+	WhatIfDelta = core.WhatIfDelta
+	// Headroom is the "largest admissible job" frontier of a machine (or,
+	// merged, of a sharded plane) over a sliding window.
+	Headroom = core.Headroom
+	// ForensicsRecorder retains recent rejection diagnoses in a bounded
+	// ring with a per-job index, JSONL export and an /explain endpoint.
+	ForensicsRecorder = forensics.Recorder
+	// ForensicsRecord is one retained rejection diagnosis.
+	ForensicsRecord = forensics.Record
+	// HeadroomForecaster publishes the advertised frontier as gauges and
+	// audits rejections against it (forecast misses).
+	HeadroomForecaster = forensics.Forecaster
+)
+
+// Binding-constraint names reported by ChainDiagnosis.Constraint.
+const (
+	ConstraintWidth    = core.ConstraintWidth
+	ConstraintDeadline = core.ConstraintDeadline
+	ConstraintCapacity = core.ConstraintCapacity
+)
+
+// NewForensicsRecorder returns a rejection recorder retaining up to n
+// diagnoses (n <= 0 selects the default capacity).  Install its Sink as
+// Options.Diagnosis (or FedConfig.Diagnosis) to capture every rejection.
+func NewForensicsRecorder(n int) *ForensicsRecorder { return forensics.NewRecorder(n) }
+
+// NewHeadroomForecaster returns an empty headroom forecaster; feed it
+// with Advertise (e.g. from FedConfig.HeadroomSink) and audit rejections
+// with NoteRejection.
+func NewHeadroomForecaster() *HeadroomForecaster { return forensics.NewForecaster() }
+
+// DecodeForensicsJSONL parses a ForensicsRecorder.WriteJSONL stream back
+// into records (the offline half of the rejection-cause artifact).
+func DecodeForensicsJSONL(r io.Reader) ([]ForensicsRecord, error) {
+	return forensics.DecodeJSONL(r)
+}
 
 // NewObserver returns an observer with the given configuration.
 func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
