@@ -29,6 +29,7 @@ func benchConfig(jobs int) experiments.Config {
 }
 
 func BenchmarkFig5aArrivalSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(1000)
 	intervals := []float64{10, 30, 50, 70, 85}
 	var gain int
@@ -48,6 +49,7 @@ func BenchmarkFig5aArrivalSweep(b *testing.B) {
 }
 
 func BenchmarkFig5bLaxitySweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(1000)
 	laxities := []float64{0.05, 0.3, 0.5, 0.7, 0.95}
 	var gain int
@@ -67,6 +69,7 @@ func BenchmarkFig5bLaxitySweep(b *testing.B) {
 }
 
 func BenchmarkFig5cMachineSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(1000)
 	procs := []float64{16, 24, 32, 48, 64}
 	var gain float64
@@ -86,6 +89,7 @@ func BenchmarkFig5cMachineSweep(b *testing.B) {
 }
 
 func BenchmarkFig5dAlphaSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(1000)
 	alphas := []float64{0.0625, 0.25, 0.5, 0.75, 1}
 	var gain int
@@ -105,6 +109,7 @@ func BenchmarkFig5dAlphaSweep(b *testing.B) {
 }
 
 func BenchmarkFig6aBenefitGridNonMalleable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(600)
 	intervals := []float64{20, 40, 60}
 	laxities := []float64{0.2, 0.5, 0.8}
@@ -123,6 +128,7 @@ func BenchmarkFig6aBenefitGridNonMalleable(b *testing.B) {
 }
 
 func BenchmarkFig6bBenefitGridMalleable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(600)
 	intervals := []float64{20, 40, 60}
 	laxities := []float64{0.2, 0.5, 0.8}
@@ -141,6 +147,7 @@ func BenchmarkFig6bBenefitGridMalleable(b *testing.B) {
 }
 
 func BenchmarkFig2JunctionConfigs(b *testing.B) {
+	b.ReportAllocs()
 	im, truth := junction.Synthesize(junction.DefaultSynthSpec())
 	var f1 float64
 	for i := 0; i < b.N; i++ {
@@ -163,6 +170,7 @@ func BenchmarkFig2JunctionConfigs(b *testing.B) {
 // the paper configuration on the same workload.
 
 func runAblation(b *testing.B, opts *core.Options) int {
+	b.ReportAllocs()
 	cfg := benchConfig(1500)
 	cfg.Opts = opts
 	var admitted int
@@ -202,6 +210,7 @@ func BenchmarkAblationBacktrackPlacer(b *testing.B) {
 }
 
 func BenchmarkAblationMalleableEarliestFinish(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(1500)
 	cfg.Malleable = true
 	cfg.Opts = &core.Options{Malleable: core.MalleableEarliestFinish}
@@ -219,6 +228,7 @@ func BenchmarkAblationMalleableEarliestFinish(b *testing.B) {
 // Micro-benchmarks of the scheduler's hot paths.
 
 func BenchmarkSchedulerAdmitTunable(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
 	s := core.NewScheduler(16, 0, nil)
 	release := 0.0
@@ -234,6 +244,7 @@ func BenchmarkSchedulerAdmitTunable(b *testing.B) {
 // hooks, so every hook site is one nil pointer comparison.  Compare with
 // BenchmarkAdmitInstrumented to measure the observability layer's cost.
 func BenchmarkAdmitNilSink(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
 	s := core.NewScheduler(16, 0, &core.Options{})
 	release := 0.0
@@ -248,6 +259,7 @@ func BenchmarkAdmitNilSink(b *testing.B) {
 // BenchmarkAdmitInstrumented runs the same admission stream with a full
 // observer attached (registry metrics + ring-buffer tracing).
 func BenchmarkAdmitInstrumented(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.FigureJob{X: 16, T: 25, Alpha: 0.25, Laxity: 0.5}
 	o := obs.New(obs.Config{})
 	s := core.NewScheduler(16, 0, o.InstrumentOptions(nil))
@@ -261,6 +273,7 @@ func BenchmarkAdmitInstrumented(b *testing.B) {
 }
 
 func BenchmarkProfileEarliestFit(b *testing.B) {
+	b.ReportAllocs()
 	p := core.NewProfile(64, 0)
 	for i := 0; i < 200; i++ {
 		s, ok := p.EarliestFit(1+i%8, 5, float64(i), core.Inf)
@@ -280,6 +293,7 @@ func BenchmarkProfileEarliestFit(b *testing.B) {
 }
 
 func BenchmarkMaximalHoles(b *testing.B) {
+	b.ReportAllocs()
 	p := core.NewProfile(64, 0)
 	for i := 0; i < 200; i++ {
 		s, ok := p.EarliestFit(1+i%8, 5, float64(i), core.Inf)
@@ -299,6 +313,7 @@ func BenchmarkMaximalHoles(b *testing.B) {
 }
 
 func BenchmarkCalypsoStep(b *testing.B) {
+	b.ReportAllocs()
 	rt, err := calypso.New(calypso.Config{Workers: 8})
 	if err != nil {
 		b.Fatal(err)
@@ -361,6 +376,7 @@ task compute deadline 40 params (c) {
 // experiments (EXT-Q, EXT-R in EXPERIMENTS.md) and DAG admission.
 
 func BenchmarkExtQQualitySweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(800)
 	var total float64
 	for i := 0; i < b.N; i++ {
@@ -381,6 +397,7 @@ func BenchmarkExtQQualitySweep(b *testing.B) {
 }
 
 func BenchmarkExtRChurn(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig(800)
 	var completed int
 	for i := 0; i < b.N; i++ {
@@ -394,6 +411,7 @@ func BenchmarkExtRChurn(b *testing.B) {
 }
 
 func BenchmarkDAGAdmit(b *testing.B) {
+	b.ReportAllocs()
 	s := core.NewScheduler(16, 0, nil)
 	release := 0.0
 	b.ResetTimer()

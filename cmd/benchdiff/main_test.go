@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: milan/internal/fed
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMonolithAdmit-16         	   20000	     41000 ns/op	     900 B/op	      15 allocs/op
+BenchmarkShardedAdmit/shards=8-16 	   35697	     12179 ns/op	     867 B/op	      15 allocs/op
+BenchmarkNoMem-16                 	  100000	      1000 ns/op
+PASS
+ok  	milan/internal/fed	1.109s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rows, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Name != "BenchmarkMonolithAdmit" || rows[0].NsPerOp != 41000 || rows[0].AllocsPerOp != 15 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Name != "BenchmarkShardedAdmit/shards=8" {
+		t.Errorf("sub-benchmark name not preserved: %q", rows[1].Name)
+	}
+	if rows[2].AllocsPerOp != -1 {
+		t.Errorf("no-benchmem row should carry allocs -1, got %d", rows[2].AllocsPerOp)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-16":             "BenchmarkX",
+		"BenchmarkX":                "BenchmarkX",
+		"BenchmarkX/shards=8-4":     "BenchmarkX/shards=8",
+		"BenchmarkX/ledger=off-32":  "BenchmarkX/ledger=off",
+		"BenchmarkX/name-with-dash": "BenchmarkX/name-with-dash",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLatestBaselineLastWins(t *testing.T) {
+	in := `{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":5,"note":"seed"}
+
+{"name":"BenchmarkA","ns_per_op":90,"allocs_per_op":4,"note":"optimized"}
+{"name":"BenchmarkB","ns_per_op":10,"allocs_per_op":0}
+`
+	base, err := latestBaseline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("got %d baselines, want 2", len(base))
+	}
+	if a := base["BenchmarkA"]; a.NsPerOp != 90 || a.AllocsPerOp != 4 {
+		t.Errorf("latest row did not win: %+v", a)
+	}
+}
+
+func TestLatestBaselineErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad json":     `{"name":`,
+		"missing name": `{"ns_per_op":5}`,
+	} {
+		if _, err := latestBaseline(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]row{
+		"Steady":   {Name: "Steady", NsPerOp: 100, AllocsPerOp: 5},
+		"Slower":   {Name: "Slower", NsPerOp: 100, AllocsPerOp: 5},
+		"Allocs":   {Name: "Allocs", NsPerOp: 100, AllocsPerOp: 5},
+		"NoMemRef": {Name: "NoMemRef", NsPerOp: 100, AllocsPerOp: -1},
+	}
+	cand := []row{
+		{Name: "Steady", NsPerOp: 114, AllocsPerOp: 5},   // +14% < 15%: ok
+		{Name: "Slower", NsPerOp: 116, AllocsPerOp: 5},   // +16%: fail
+		{Name: "Allocs", NsPerOp: 50, AllocsPerOp: 6},    // faster but +1 alloc: fail
+		{Name: "NoMemRef", NsPerOp: 100, AllocsPerOp: 9}, // baseline has no alloc data: ok
+		{Name: "Fresh", NsPerOp: 1, AllocsPerOp: 0},      // no baseline: new, ok
+	}
+	vs := compare(base, cand, 0.15)
+	want := []struct {
+		regress, whyAlloc, known bool
+	}{
+		{false, false, true},
+		{true, false, true},
+		{true, true, true},
+		{false, false, true},
+		{false, false, false},
+	}
+	for i, w := range want {
+		v := vs[i]
+		if v.regress != w.regress || v.whyAlloc != w.whyAlloc || v.known != w.known {
+			t.Errorf("%s: regress=%v alloc=%v known=%v, want %+v", v.Name, v.regress, v.whyAlloc, v.known, w)
+		}
+	}
+}

@@ -22,8 +22,10 @@ import (
 	"text/tabwriter"
 
 	"milan/internal/calypso"
+	"milan/internal/core"
 	"milan/internal/junction"
 	"milan/internal/obs"
+	"milan/internal/obs/ledger"
 )
 
 // lastRuntime holds the most recently constructed Calypso runtime so the
@@ -46,8 +48,16 @@ func main() {
 		log.Fatal("junctiond: -pprof requires -debug-addr (profiles are served on the debug endpoint)")
 	}
 	var observer *obs.Observer
+	var ld *ledger.Ledger
 	if *debugAddr != "" {
 		observer = obs.New(obs.Config{EnablePprof: *pprofFlag})
+		// Utilization ledger over the pipeline's work units: each
+		// configuration bills to its own tenant, each pipeline step to its
+		// own class, so /ledger shows the Figure-2 trade (step-1 vs step-3
+		// allocation) as per-tenant reserved area.
+		ld = ledger.New(ledger.Config{Capacity: *workers})
+		ld.BindMetrics(observer.Reg)
+		ld.Mount(observer)
 		// Readiness: the debug endpoint reports 503 until a runtime exists
 		// and while every worker of the latest runtime has crashed.
 		observer.AddHealthCheck("calypso", func() error {
@@ -90,6 +100,7 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tgranularity\tsearch-dist\tstep1-work\tstep2-work\tstep3-work\tregions\tdetected\tprecision\trecall\tF1")
+	var ledgerClock float64
 	for _, c := range configs {
 		var plan *calypso.FaultPlan
 		if *faults {
@@ -113,6 +124,7 @@ func main() {
 			c.name, c.params.Granularity, c.params.SearchDistance,
 			res.Costs[0].Work, res.Costs[1].Work, res.Costs[2].Work,
 			len(res.Regions), len(res.Junctions), q.Precision, q.Recall, q.F1)
+		ledgerClock = recordPipeline(ld, c.name, res, *workers, ledgerClock)
 		if *faults {
 			m := rt.Metrics()
 			defer fmt.Printf("%s runtime under faults: %d executions / %d tasks, %d duplicates, %d transients, %d crashes\n",
@@ -123,6 +135,32 @@ func main() {
 	fmt.Println("\nFigure 2 reading: the coarse configuration spends several times less in")
 	fmt.Println("the sampling step and compensates with a much larger junction-computation")
 	fmt.Println("allocation, at comparable output quality.")
+}
+
+// recordPipeline accounts one configuration's pipeline run on the
+// utilization ledger: each step is entered as a committed-and-realized
+// rectangle of workers processors lasting work/workers time units, billed
+// to tenant name at class = step index.  Returns the advanced clock.  A
+// nil ledger records nothing.
+func recordPipeline(ld *ledger.Ledger, name string, res *junction.Result, workers int, clock float64) float64 {
+	if ld == nil || workers <= 0 {
+		return clock
+	}
+	for step, c := range res.Costs {
+		d := float64(c.Work) / float64(workers)
+		if d <= 0 {
+			continue
+		}
+		pl := &core.Placement{Tasks: []core.TaskPlacement{{
+			Task: step, Start: clock, Finish: clock + d, Procs: workers,
+		}}}
+		k := ledger.Key{Tenant: name, Class: step}
+		ld.RecordCommitKeyed(k, pl)
+		ld.RecordCompletion(k, pl)
+		clock += d
+	}
+	ld.Advance(clock)
+	return clock
 }
 
 // runVideo processes a moving synthetic sequence with both configurations,

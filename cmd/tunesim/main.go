@@ -20,11 +20,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"milan/internal/core"
 	"milan/internal/experiments"
 	"milan/internal/obs"
 	"milan/internal/obs/forensics"
+	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 	"milan/internal/workload"
 )
@@ -52,6 +54,9 @@ func main() {
 	flightPath := flag.String("flight", "", "write the latest flight-recorder snapshot (JSONL) to this file after the run (implies -slo)")
 	explainPath := flag.String("explain", "", "record a rejection diagnosis per failed admission and write them (JSONL) to this file after the run")
 	headroomHorizon := flag.Float64("headroom", 0, "advertise and audit the capacity-headroom frontier over this horizon in simulated time units (0 disables)")
+	ledgerPath := flag.String("ledger", "", "account every run on the utilization ledger and write the merged per-tenant snapshot (JSONL) to this file after the run")
+	tenants := flag.String("tenants", "", "comma-separated tenant names cycled over arrivals for per-tenant ledger accounting (empty = unattributed)")
+	classes := flag.Int("classes", 1, "priority classes per tenant for the -tenants cycle")
 	debugAddr := flag.String("debug-addr", "", "serve the observability debug endpoint (/metrics /trace /explain ...) on this address while the run executes")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the debug endpoint (requires -debug-addr)")
 	flag.Parse()
@@ -108,6 +113,30 @@ func main() {
 			forecaster.BindMetrics(observer.Reg)
 		}
 	}
+	// Utilization ledger: per-tenant capacity accounting.  One shard
+	// ledger per admission shard (the sharded subcommand needs them; a
+	// monolithic run only touches shard 0), merged lock-free for the
+	// /ledger endpoint and the end-of-run JSONL artifact.  Totals
+	// accumulate across every run of the invocation (sweeps included).
+	var ld *ledger.Sharded
+	if *ledgerPath != "" || *debugAddr != "" {
+		n := shardCount
+		if n < 1 {
+			n = 1
+		}
+		ld = ledger.NewSharded(ledger.Config{Capacity: cfg.Procs}, n)
+		cfg.Ledger = ld
+		if observer != nil {
+			ld.BindMetrics(observer.Reg)
+			ld.Mount(observer)
+		}
+	}
+	if *tenants != "" {
+		cfg.Tenants = &workload.TenantCycle{
+			Tenants: strings.Split(*tenants, ","),
+			Classes: *classes,
+		}
+	}
 	if *debugAddr != "" {
 		addr, srv, err := startDebug(observer, *debugAddr)
 		if err != nil {
@@ -143,6 +172,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := finishForensics(os.Stdout, forRec, forecaster, *explainPath); err != nil {
+		fmt.Fprintln(os.Stderr, "tunesim:", err)
+		os.Exit(1)
+	}
+	if err := finishLedger(os.Stdout, ld, *ledgerPath); err != nil {
 		fmt.Fprintln(os.Stderr, "tunesim:", err)
 		os.Exit(1)
 	}
@@ -247,6 +280,47 @@ func finishForensics(out io.Writer, rec *forensics.Recorder, fc *forensics.Forec
 				hr.MaxArea, hr.From, hr.From+hr.Horizon)
 		}
 	}
+	return nil
+}
+
+// finishLedger prints the per-tenant accounting table and writes the
+// merged ledger snapshot as JSONL (the -ledger output).  A nil ledger is
+// a no-op.
+func finishLedger(out io.Writer, ld *ledger.Sharded, path string) error {
+	if ld == nil {
+		return nil
+	}
+	snap := ld.Merged()
+	fmt.Fprintf(out, "\nutilization ledger: util=%.4f frag=%.4f reserved=%.1f realized=%.1f waste=%.1f\n",
+		snap.Utilization(), snap.Fragmentation(),
+		snap.TotalReservedArea, snap.TotalRealizedArea, snap.TotalWasteArea())
+	fmt.Fprintf(out, "%-16s %5s %12s %12s %12s %8s %9s %9s\n",
+		"tenant", "class", "reserved", "realized", "waste", "commits", "completes", "rejects")
+	for _, t := range snap.Totals {
+		name := t.Tenant
+		if name == "" {
+			name = "(unattributed)"
+		}
+		fmt.Fprintf(out, "%-16s %5d %12.1f %12.1f %12.1f %8d %9d %9d\n",
+			name, t.Class, t.ReservedArea, t.RealizedArea, t.Waste(),
+			t.Commits, t.Completions, t.Rejections)
+	}
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote ledger snapshot (%d tenant streams, %d buckets) to %s\n",
+		len(snap.Totals), len(snap.Buckets), path)
 	return nil
 }
 

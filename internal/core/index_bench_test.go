@@ -30,6 +30,7 @@ func benchProfile(n int, indexed bool) *Profile {
 // until after the last reservation drains: the linear path scans every
 // segment, the indexed path descends the tree.
 func BenchmarkProfileEarliestFitIndexed(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProfile(10000, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -42,6 +43,7 @@ func BenchmarkProfileEarliestFitIndexed(b *testing.B) {
 // BenchmarkProfileEarliestFitLinear is the reference-path twin of the
 // benchmark above (same profile contents, same query).
 func BenchmarkProfileEarliestFitLinear(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProfile(10000, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -54,6 +56,7 @@ func BenchmarkProfileEarliestFitLinear(b *testing.B) {
 // BenchmarkProfileMinAvailIndexed / Linear: the other hot probe, over a
 // window spanning most of the committed timeline.
 func BenchmarkProfileMinAvailIndexed(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProfile(10000, true)
 	hi := p.LastBreak()
 	b.ResetTimer()
@@ -63,6 +66,7 @@ func BenchmarkProfileMinAvailIndexed(b *testing.B) {
 }
 
 func BenchmarkProfileMinAvailLinear(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProfile(10000, false)
 	hi := p.LastBreak()
 	b.ResetTimer()
@@ -99,6 +103,7 @@ func benchJob(id int, release float64) Job {
 // chains, greedy tie-break) against 10k committed reservations with the
 // index on; Plan is read-only, so every iteration sees the same profile.
 func BenchmarkSchedulerPlan10kIndexed(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScheduler(10000, ProfileIndexOn)
 	job := benchJob(0, 10)
 	b.ResetTimer()
@@ -111,6 +116,7 @@ func BenchmarkSchedulerPlan10kIndexed(b *testing.B) {
 
 // BenchmarkSchedulerPlan10kLinear is the reference-path twin.
 func BenchmarkSchedulerPlan10kLinear(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScheduler(10000, ProfileIndexOff)
 	job := benchJob(0, 10)
 	b.ResetTimer()

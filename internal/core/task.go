@@ -141,6 +141,16 @@ type Job struct {
 	// them beyond passing the job to its hooks.
 	Trace uint64
 	Span  uint64
+
+	// Tenant and Class carry accounting identity (which principal the
+	// job bills to, and at which priority class) through the admission
+	// pipeline as plain values — the same no-dependency trick as
+	// Trace/Span, so core stays below the observability layer.  The
+	// scheduler itself never reads them; the utilization ledger
+	// (internal/obs/ledger) attributes reserved and realized capacity
+	// by (Tenant, Class).  Empty tenant means "unattributed".
+	Tenant string
+	Class  int
 }
 
 // Tunable reports whether the job offers the scheduler a choice of paths.

@@ -14,6 +14,7 @@ import (
 	"milan/internal/core"
 	"milan/internal/obs"
 	"milan/internal/obs/forensics"
+	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/sim"
@@ -71,6 +72,17 @@ type Config struct {
 	// HeadroomHorizon is the forecaster's sliding window in simulated time
 	// units; non-positive selects DefaultHeadroomHorizon.
 	HeadroomHorizon float64
+	// Ledger, if set, accounts the run per tenant and priority class:
+	// every commit is recorded in admission order (shard 0 for the
+	// monolith; the granting shard for a sharded plane), every admitted
+	// job's completion realizes its reserved area, and the clock advances
+	// the ledger's retention.  Attach a fresh ledger per run — totals are
+	// cumulative.  nil (the default) schedules the same events and makes
+	// the same decisions as no ledger at all.
+	Ledger *ledger.Sharded
+	// Tenants, if set (with Ledger), stamps each arrival with a tenant
+	// and class before negotiation.
+	Tenants *workload.TenantCycle
 }
 
 // DefaultHeadroomHorizon is the forecaster's window when the
@@ -208,6 +220,14 @@ func Run(cfg Config, sys workload.System) (RunResult, error) {
 	if cfg.Obs != nil {
 		arbCfg = cfg.Obs.InstrumentArbitratorConfig(arbCfg)
 	}
+	if cfg.Ledger != nil {
+		// The monolith accounts on shard 0; the arbitrator invokes its
+		// observer under its own lock right after each scheduler commit,
+		// so ledger recording happens in commit order.
+		lg := cfg.Ledger.Shard(0)
+		lg.SetCapacity(cfg.Procs, 0)
+		arbCfg.Observer = lg.DecisionObserver(arbCfg.Observer)
+	}
 	arb, err := qos.NewArbitrator(arbCfg)
 	if err != nil {
 		return RunResult{}, err
@@ -260,6 +280,10 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 			now := engine.Now()
 			lastRelease = now
 			arb.Observe(now)
+			// Ledger retention follows the clock.  (A sharded plane's
+			// Observe already advanced its shard ledgers; Advance is
+			// monotone, so the second call is a no-op there.)
+			cfg.Ledger.Advance(now)
 			if cfg.Forecast != nil {
 				// Refresh the advertised frontier at decision time, so the
 				// rejection audit below judges a forecast the plane could
@@ -269,6 +293,9 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 			job := cfg.Job.Job(id, now, sys)
 			if cfg.Malleable {
 				job = job.MakeMalleable()
+			}
+			if cfg.Tenants != nil {
+				job.Tenant, job.Class = cfg.Tenants.Assign(id)
 			}
 			var root *obs.ActiveSpan
 			if tracer != nil {
@@ -302,23 +329,34 @@ func runLoop(cfg Config, sys workload.System, arb admitter) (RunResult, error) {
 				if auditing {
 					root.SetAttr("chain", float64(g.Chain))
 					root.EndAt(now)
+				}
+				if auditing || cfg.Ledger != nil {
 					finish := g.Finish() + cfg.CompletionDelay
 					if finish < now {
 						finish = now
 					}
-					run := tracer.StartAt(obs.TraceID(job.Trace), obs.SpanID(job.Span),
-						"job.run", obs.StageRun, id, g.Placement.Start())
-					run.SetAttr("deadline", deadline)
-					run.SetAttr("reserved_finish", g.Finish())
-					cfg.SLO.JobAdmitted(id, job.Trace, now, latency, deadline, g.Finish())
-					cfg.SLO.Tick(now)
+					var run *obs.ActiveSpan
+					if auditing {
+						run = tracer.StartAt(obs.TraceID(job.Trace), obs.SpanID(job.Span),
+							"job.run", obs.StageRun, id, g.Placement.Start())
+						run.SetAttr("deadline", deadline)
+						run.SetAttr("reserved_finish", g.Finish())
+						cfg.SLO.JobAdmitted(id, job.Trace, now, latency, deadline, g.Finish())
+						cfg.SLO.Tick(now)
+					}
 					jobID := id
+					// Completion realizes the reserved area on the shard
+					// that granted it (qos.Grant.Shard; 0 for the monolith).
+					led := cfg.Ledger.Shard(g.Shard)
+					key := ledger.KeyOf(&job)
+					pl := g.Placement
 					ev := engine.At(finish, "complete", func() {
 						// End the run span before the completion lands in
 						// the SLO engine so a triggered flight snapshot
 						// already holds the span that convicts the stage.
 						run.EndAt(finish)
 						cfg.SLO.JobCompleted(jobID, finish)
+						led.RecordCompletion(key, &pl)
 					})
 					ev.Trace = job.Trace
 				}

@@ -57,6 +57,10 @@ func RunSharded(cfg Config, sys workload.System, shards, probeK int) (RunResult,
 	if err := cfg.Validate(); err != nil {
 		return RunResult{}, ShardedStats{}, err
 	}
+	if cfg.Ledger != nil && cfg.Ledger.Shards() < shards {
+		return RunResult{}, ShardedStats{}, fmt.Errorf(
+			"experiments: ledger has %d shards, plane needs %d", cfg.Ledger.Shards(), shards)
+	}
 	reg := obs.NewRegistry()
 	metrics := fed.NewMetrics(reg)
 	fedCfg := fed.Config{
@@ -65,6 +69,11 @@ func RunSharded(cfg Config, sys workload.System, shards, probeK int) (RunResult,
 		ProbeK:  probeK,
 		Options: cfg.Opts,
 		Metrics: metrics,
+		// Per-shard utilization ledgers: the plane records every commit,
+		// rejection, clock advance and resize on the deciding shard's
+		// ledger under that shard's lock (see fed/shard.go); the run loop
+		// routes completions back via the grant's Shard stamp.
+		Ledger: cfg.Ledger,
 		// The plane stamps each diagnosis with the deciding shard before
 		// handing it to the run's composed sink (recorder + forecaster).
 		Diagnosis: cfg.diagnosisSink(),

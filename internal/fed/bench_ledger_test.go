@@ -1,0 +1,33 @@
+package fed
+
+import (
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/obs/ledger"
+)
+
+// Ledger-cost benchmarks.  The contract mirrors the tracer's: a plane
+// with no ledger bound pays exactly one nil pointer comparison per
+// commit/rejection hook, so ledger=off must sit within noise of
+// BenchmarkShardedAdmit.  ledger=on quantifies the opt-in cost of exact
+// per-tenant accounting plus the time-bucketed spread on every commit.
+// CI's benchdiff gate tracks both series in BENCH_trajectory.jsonl.
+
+func benchLedgerLoop(b *testing.B, led *ledger.Sharded) {
+	plane, err := New(Config{Procs: benchProcs, Shards: 8, ProbeK: 2, Ledger: led})
+	if err != nil {
+		b.Fatal(err)
+	}
+	admitLoop(b,
+		func(j core.Job) error { _, err := plane.Negotiate(j); return err },
+		plane.Observe)
+}
+
+func BenchmarkShardedAdmitLedgerOff(b *testing.B) {
+	benchLedgerLoop(b, nil)
+}
+
+func BenchmarkShardedAdmitLedgerOn(b *testing.B) {
+	benchLedgerLoop(b, ledger.NewSharded(ledger.Config{Capacity: benchProcs}, 8))
+}

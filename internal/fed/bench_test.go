@@ -91,8 +91,9 @@ func TestWriteBenchFed(t *testing.T) {
 		t.Skip("set WRITE_BENCH_FED=1 to regenerate BENCH_fed.json")
 	}
 	type entry struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
 	}
 	var out struct {
 		GoMaxProcs int     `json:"gomaxprocs"`
@@ -107,7 +108,7 @@ func TestWriteBenchFed(t *testing.T) {
 	out.ProbeK = 2
 
 	mono := testing.Benchmark(BenchmarkMonolithAdmit)
-	out.Monolith = entry{Name: "BenchmarkMonolithAdmit", NsPerOp: float64(mono.NsPerOp())}
+	out.Monolith = entry{Name: "BenchmarkMonolithAdmit", NsPerOp: float64(mono.NsPerOp()), AllocsPerOp: mono.AllocsPerOp()}
 
 	var ns8 float64
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -121,7 +122,7 @@ func TestWriteBenchFed(t *testing.T) {
 				func(j core.Job) error { _, err := plane.Negotiate(j); return err },
 				plane.Observe)
 		})
-		e := entry{Name: fmt.Sprintf("BenchmarkShardedAdmit/shards=%d", shards), NsPerOp: float64(r.NsPerOp())}
+		e := entry{Name: fmt.Sprintf("BenchmarkShardedAdmit/shards=%d", shards), NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
 		out.Sharded = append(out.Sharded, e)
 		if shards == 8 {
 			ns8 = e.NsPerOp

@@ -50,28 +50,30 @@ func TestWriteBenchSLO(t *testing.T) {
 	if os.Getenv("WRITE_BENCH_SLO") == "" {
 		t.Skip("set WRITE_BENCH_SLO=1 to regenerate BENCH_slo.json")
 	}
-	run := func(tr *obs.Tracer) float64 {
+	run := func(tr *obs.Tracer) (float64, int64) {
 		r := testing.Benchmark(func(b *testing.B) {
 			plane := benchPlane(b, 8, tr)
 			admitLoop(b,
 				func(j core.Job) error { _, err := plane.Negotiate(j); return err },
 				plane.Observe)
 		})
-		return float64(r.NsPerOp())
+		return float64(r.NsPerOp()), r.AllocsPerOp()
 	}
 	var out struct {
-		GoMaxProcs      int     `json:"gomaxprocs"`
-		Procs           int     `json:"pool_procs"`
-		Shards          int     `json:"shards"`
-		UntracedNsPerOp float64 `json:"untraced_ns_per_op"`
-		TracedNsPerOp   float64 `json:"traced_ns_per_op"`
-		TracingOverhead float64 `json:"tracing_overhead"`
+		GoMaxProcs        int     `json:"gomaxprocs"`
+		Procs             int     `json:"pool_procs"`
+		Shards            int     `json:"shards"`
+		UntracedNsPerOp   float64 `json:"untraced_ns_per_op"`
+		UntracedAllocsOp  int64   `json:"untraced_allocs_per_op"`
+		TracedNsPerOp     float64 `json:"traced_ns_per_op"`
+		TracedAllocsPerOp int64   `json:"traced_allocs_per_op"`
+		TracingOverhead   float64 `json:"tracing_overhead"`
 	}
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.Procs = benchProcs
 	out.Shards = 8
-	out.UntracedNsPerOp = run(nil)
-	out.TracedNsPerOp = run(obs.NewTracer(1 << 14))
+	out.UntracedNsPerOp, out.UntracedAllocsOp = run(nil)
+	out.TracedNsPerOp, out.TracedAllocsPerOp = run(obs.NewTracer(1 << 14))
 	if out.UntracedNsPerOp > 0 {
 		out.TracingOverhead = out.TracedNsPerOp/out.UntracedNsPerOp - 1
 	}

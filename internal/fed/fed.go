@@ -31,6 +31,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/ledger"
 	"milan/internal/qos"
 )
 
@@ -85,6 +86,15 @@ type Config struct {
 	// (*forensics.Forecaster).Advertise, which publishes the headroom_*
 	// gauges and audits rejections against the advertised frontier.
 	HeadroomSink func(core.Headroom)
+	// Ledger, if set, attaches per-tenant utilization accounting: every
+	// committed reservation is recorded on the committing shard's ledger
+	// under the shard lock, in commit order (so per-shard ledger totals
+	// are bit-identical to per-shard scheduler accounting — the
+	// differential test pins it), clock advances and capacity resizes
+	// flow through, and rejections are counted on the deciding shard.
+	// The Sharded ledger needs at least Shards shard ledgers.  nil keeps
+	// the admission path ledger-free: one pointer comparison per commit.
+	Ledger *ledger.Sharded
 }
 
 // planKey is the cross-shard tie-break key for a planned placement: the
@@ -172,6 +182,9 @@ func New(cfg Config) (*Arbitrator, error) {
 	if shards < 1 || shards > cfg.Procs {
 		return nil, fmt.Errorf("fed: %d shards for %d processors (need 1 <= shards <= procs)", shards, cfg.Procs)
 	}
+	if cfg.Ledger != nil && cfg.Ledger.Shards() < shards {
+		return nil, fmt.Errorf("fed: ledger has %d shard ledgers for %d shards", cfg.Ledger.Shards(), shards)
+	}
 	k := cfg.ProbeK
 	if k == 0 {
 		k = 2
@@ -218,6 +231,10 @@ func New(cfg Config) (*Arbitrator, error) {
 			opts = &o
 		}
 		sh := newShard(i, procs, cfg.Origin, opts, cfg.Horizon, cfg.HeadroomHorizon)
+		if cfg.Ledger != nil {
+			sh.led = cfg.Ledger.Shard(i)
+			sh.led.SetCapacity(procs, cfg.Origin)
+		}
 		sh.mu.Lock()
 		sh.refreshLoadLocked()
 		sh.mu.Unlock()
@@ -390,6 +407,7 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 			Quality:   job.Chains[pl.Chain].Quality,
 			Placement: *pl,
 			Trace:     job.Trace,
+			Shard:     pr.shard.ID(),
 		}
 		if t != nil {
 			rs.SetAttr("start", pl.Start())
@@ -434,6 +452,7 @@ func (a *Arbitrator) NegotiateDAG(job core.DAGJob) (*qos.Grant, error) {
 				Chain:     pl.Chain,
 				Quality:   job.Alts[pl.Chain].Quality,
 				Placement: *pl,
+				Shard:     sh.ID(),
 			}, nil
 		}
 		lastErr = err

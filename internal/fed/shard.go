@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"milan/internal/core"
+	"milan/internal/obs/ledger"
 )
 
 // Shard is one partition of the machine's processor pool: its own
@@ -47,6 +48,13 @@ type Shard struct {
 	// path identical to the pre-forensics plane.
 	headroomHorizon float64
 	headroomPtr     atomic.Pointer[core.Headroom]
+
+	// led, if non-nil, is this shard's utilization ledger: commits are
+	// recorded under sh.mu immediately after the scheduler commit, so
+	// the ledger's running total performs the same float additions in
+	// the same order as the scheduler's ReservedArea counter.  nil (the
+	// default) costs one pointer comparison per commit.
+	led *ledger.Ledger
 }
 
 func newShard(id, procs int, origin float64, opts *core.Options, horizon, headroomHorizon float64) *Shard {
@@ -233,6 +241,9 @@ func (sh *Shard) commitPlanned(job core.Job, pl *core.Placement, ver uint64) (ou
 		}
 		sh.version++
 		sh.bumpLoadLocked(pl.Area())
+		if sh.led != nil {
+			sh.led.RecordCommit(&job, pl)
+		}
 		return pl, false, nil
 	}
 	pl2, err := sh.sched.Admit(job)
@@ -241,6 +252,9 @@ func (sh *Shard) commitPlanned(job core.Job, pl *core.Placement, ver uint64) (ou
 	}
 	sh.version++
 	sh.bumpLoadLocked(pl2.Area())
+	if sh.led != nil {
+		sh.led.RecordCommit(&job, pl2)
+	}
 	return pl2, true, nil
 }
 
@@ -251,6 +265,9 @@ func (sh *Shard) noteRejected(job core.Job) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.sched.NoteRejected(&job, "no-feasible-chain")
+	if sh.led != nil {
+		sh.led.RecordRejection(&job)
+	}
 }
 
 // admitDAG runs DAG admission control on this shard.
@@ -261,6 +278,11 @@ func (sh *Shard) admitDAG(job core.DAGJob) (*core.Placement, error) {
 	if err == nil {
 		sh.version++
 		sh.bumpLoadLocked(pl.Area())
+		if sh.led != nil {
+			// DAG jobs carry no tenant identity yet; account them on
+			// the unattributed stream so plane totals stay complete.
+			sh.led.RecordCommitKeyed(ledger.Key{}, pl)
+		}
 	}
 	return pl, err
 }
@@ -274,6 +296,9 @@ func (sh *Shard) observe(now float64) {
 		sh.sched.Observe(now)
 		sh.version++
 		sh.refreshLoadLocked()
+		if sh.led != nil {
+			sh.led.Advance(now)
+		}
 	}
 }
 
@@ -288,5 +313,8 @@ func (sh *Shard) resize(procs int) error {
 	}
 	sh.version++
 	sh.refreshLoadLocked()
+	if sh.led != nil {
+		sh.led.SetCapacity(procs, sh.now)
+	}
 	return nil
 }

@@ -1,0 +1,29 @@
+package ledger
+
+import (
+	"milan/internal/qos"
+)
+
+// DecisionObserver adapts the ledger to qos.ArbitratorConfig.Observer:
+// every granted decision records a commit, every rejected one a
+// rejection, then the chain continues to next (nil is fine).  The
+// arbitrator invokes its observer under its own mutex immediately after
+// the scheduler commit, so ledger recording happens in commit order —
+// the ordering the bit-identity differential test relies on.  (The qos
+// package cannot import this one — obs sits above qos — which is why
+// the adapter lives here and hooks the observer callback instead.)
+func (l *Ledger) DecisionObserver(next func(qos.Decision)) func(qos.Decision) {
+	if l == nil {
+		return next
+	}
+	return func(d qos.Decision) {
+		if d.Grant != nil {
+			l.RecordCommit(&d.Job, &d.Grant.Placement)
+		} else if d.Rejected {
+			l.RecordRejection(&d.Job)
+		}
+		if next != nil {
+			next(d)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package ledger
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentShardsMergeOracle hammers per-shard ledgers from one
+// goroutine each — with concurrent merged-snapshot readers — and checks
+// the final merged snapshot against a sequential oracle fed the same
+// events.  Exact totals are order-independent (per-shard recording is
+// serialized by the shard's own mutex, and merge adds), so the oracle
+// must match exactly.  Run with -race to exercise the snapshot cache and
+// the lock-free merge path.
+func TestConcurrentShardsMergeOracle(t *testing.T) {
+	const shards = 4
+	const events = 400
+	cfg := Config{Capacity: 8, Width: 20, Keep: 4, Factor: 4, Tiers: 3}
+	sh := NewSharded(cfg, shards)
+	oracle := New(cfg)
+
+	type event struct {
+		key      Key
+		start    float64
+		dur      float64
+		procs    int
+		complete bool
+	}
+	keys := []Key{{Tenant: "a"}, {Tenant: "b"}, {Tenant: "a", Class: 1}}
+	plans := make([][]event, shards)
+	for i := range plans {
+		for j := 0; j < events; j++ {
+			plans[i] = append(plans[i], event{
+				key:      keys[(i+j)%len(keys)],
+				start:    float64(j) * 3,
+				dur:      5 + float64((i*7+j)%11),
+				procs:    1 + (i+j)%3,
+				complete: j%2 == 0,
+			})
+		}
+	}
+
+	// Sequential oracle over all shards' events.
+	for _, plan := range plans {
+		for _, e := range plan {
+			pl := mkPl(e.start, e.dur, e.procs)
+			oracle.RecordCommitKeyed(e.key, pl)
+			if e.complete {
+				oracle.RecordCompletion(e.key, pl)
+			}
+		}
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent merged readers: exercise Snapshot caching + Merge while
+	// shards mutate.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if m := sh.Merged(); m != nil {
+						_ = m.BucketedReservedArea()
+						_ = m.Utilization()
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < shards; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			led := sh.Shard(i)
+			for j, e := range plans[i] {
+				pl := mkPl(e.start, e.dur, e.procs)
+				led.RecordCommitKeyed(e.key, pl)
+				if e.complete {
+					led.RecordCompletion(e.key, pl)
+				}
+				if j%50 == 0 {
+					led.Advance(e.start)
+				}
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	m := sh.Merged()
+	om := oracle.Snapshot()
+	if m.TotalReservedArea != om.TotalReservedArea {
+		t.Errorf("merged reserved = %v, oracle = %v", m.TotalReservedArea, om.TotalReservedArea)
+	}
+	if m.TotalRealizedArea != om.TotalRealizedArea {
+		t.Errorf("merged realized = %v, oracle = %v", m.TotalRealizedArea, om.TotalRealizedArea)
+	}
+	if m.Commits != om.Commits || m.Completions != om.Completions {
+		t.Errorf("merged counts commits/completions = %d/%d, oracle %d/%d",
+			m.Commits, m.Completions, om.Commits, om.Completions)
+	}
+	if len(m.Totals) != len(om.Totals) {
+		t.Fatalf("merged has %d keys, oracle %d", len(m.Totals), len(om.Totals))
+	}
+	for i := range m.Totals {
+		got, want := m.Totals[i], om.Totals[i]
+		if got.Tenant != want.Tenant || got.Class != want.Class ||
+			got.ReservedArea != want.ReservedArea || got.RealizedArea != want.RealizedArea ||
+			got.Commits != want.Commits || got.Completions != want.Completions {
+			t.Errorf("key %d: merged %+v != oracle %+v", i, got, want)
+		}
+	}
+	// The bucketed view preserves area regardless of interleaving.
+	if got, want := m.BucketedReservedArea(), om.TotalReservedArea; !close1e9(got, want) {
+		t.Errorf("merged bucketed reserved = %v, want %v", got, want)
+	}
+}
+
+func close1e9(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d/scale < 1e-9
+}

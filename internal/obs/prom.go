@@ -15,27 +15,46 @@ const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 // WriteProm renders the registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, histograms as cumulative _bucket series with _sum and _count,
-// Welford stats as _mean/_std/_count gauges.  Metric names in this
-// codebase are already snake_case identifiers; anything else is
+// Welford stats as _mean/_std/_count gauges.  Every family is preceded
+// by # HELP and # TYPE metadata (Describe registers the help text; an
+// undescribed metric gets a generated placeholder), and label values go
+// through the format's escaping rules (PromEscapeLabel).  Metric names
+// in this codebase are already snake_case identifiers; anything else is
 // normalized defensively.
 func (r *Registry) WriteProm(w io.Writer) error {
 	s := r.Snapshot()
+	help := r.helpSnapshot()
+	header := func(name, kind, suffix string) error {
+		n := promName(name) + suffix
+		h := help[name]
+		if h == "" {
+			h = "milan " + kind + " " + promName(name) + "."
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, promEscapeHelp(h), n, kind)
+		return err
+	}
 	for _, name := range sortedKeys(s.Counters) {
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+		if err := header(name, "counter", ""); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+		if err := header(name, "gauge", ""); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if err := header(name, "histogram", ""); err != nil {
 			return err
 		}
 		// Prometheus buckets are cumulative from -Inf; observations below
@@ -45,7 +64,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		for i, c := range h.Buckets {
 			cum += c
 			le := h.Lo + float64(i+1)*width
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, PromEscapeLabel(promFloat(le)), cum); err != nil {
 				return err
 			}
 		}
@@ -57,12 +76,68 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(s.Stats) {
 		st := s.Stats[name]
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s_mean gauge\n%s_mean %s\n# TYPE %s_std gauge\n%s_std %s\n# TYPE %s_count gauge\n%s_count %d\n",
-			n, n, promFloat(st.Mean), n, n, promFloat(st.Std), n, n, st.N); err != nil {
-			return err
+		for _, part := range []struct {
+			suffix string
+			value  string
+		}{
+			{"_mean", promFloat(st.Mean)},
+			{"_std", promFloat(st.Std)},
+			{"_count", fmt.Sprint(st.N)},
+		} {
+			if err := header(name, "gauge", part.suffix); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", n, part.suffix, part.value); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// PromEscapeLabel escapes a label value per the text exposition format:
+// backslash, double-quote and newline are the only escaped characters
+// (Go's %q quoting is NOT compatible — it escapes non-ASCII too, which
+// the format forbids).  Exported so per-tenant series built outside this
+// package (internal/obs/ledger) share one correct implementation.
+func PromEscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes HELP text: only backslash and newline (quotes
+// are legal in help text, unlike label values).
+func promEscapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
 }
 
 // promName normalizes a metric name into the Prometheus identifier

@@ -12,10 +12,10 @@ func TestWritePromFormat(t *testing.T) {
 	reg.Counter("sched_plans").Add(7)
 	reg.Gauge("fed_load_spread").Set(0.25)
 	h := reg.Histogram("admit_latency", 0, 1, 4)
-	h.Observe(0.1)  // bucket 0
-	h.Observe(0.6)  // bucket 2
-	h.Observe(-1)   // under: folds into every cumulative bucket
-	h.Observe(5)    // over: only in +Inf
+	h.Observe(0.1) // bucket 0
+	h.Observe(0.6) // bucket 2
+	h.Observe(-1)  // under: folds into every cumulative bucket
+	h.Observe(5)   // over: only in +Inf
 	reg.Stat("quality").Observe(2)
 	reg.Stat("quality").Observe(4)
 
@@ -135,5 +135,85 @@ func TestPprofMountedBehindFlag(t *testing.T) {
 	h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
 	if !strings.Contains(rw.Body.String(), "/debug/pprof/") {
 		t.Fatalf("endpoint index does not list pprof: %s", rw.Body.String())
+	}
+}
+
+// TestPromConformance pins the exposition-format metadata contract: every
+// family — counters, gauges, histograms and each stat suffix — is
+// preceded by exactly one # HELP and one # TYPE line, Describe'd help
+// text is emitted (escaped), undescribed metrics get a generated
+// placeholder, and label values use the format's escaping rules.
+func TestPromConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Describe("sched_plans", "Planning passes, with \\ and\nnewline.")
+	reg.Counter("sched_plans").Add(1)
+	reg.Gauge("undocumented_gauge").Set(2)
+	reg.Histogram("admit_latency", 0, 1, 2).Observe(0.5)
+	reg.Stat("quality").Observe(3)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, `# HELP sched_plans Planning passes, with \\ and\nnewline.`) {
+		t.Errorf("described help not emitted escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP undocumented_gauge milan gauge undocumented_gauge.\n# TYPE undocumented_gauge gauge\n") {
+		t.Errorf("undescribed metric lacks placeholder HELP:\n%s", out)
+	}
+	for _, family := range []string{"sched_plans", "undocumented_gauge", "admit_latency",
+		"quality_mean", "quality_std", "quality_count"} {
+		if c := strings.Count(out, "# HELP "+family+" "); c != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", family, c)
+		}
+		if c := strings.Count(out, "# TYPE "+family+" "); c != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", family, c)
+		}
+	}
+
+	// Sample lines: every non-comment line is `name{labels} value` with a
+	// single space, and HELP precedes TYPE precedes the samples.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE ") {
+				t.Errorf("HELP line %d not followed by TYPE: %q", i, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	if got := reg.HelpFor("sched_plans"); !strings.Contains(got, "Planning passes") {
+		t.Errorf("HelpFor = %q", got)
+	}
+}
+
+// TestPromEscapeLabel pins the label escaping table: only backslash,
+// double-quote and newline are escaped — non-ASCII must pass through
+// verbatim (Go's %q would corrupt it).
+func TestPromEscapeLabel(t *testing.T) {
+	cases := map[string]string{
+		"plain":         "plain",
+		`back\slash`:    `back\\slash`,
+		`quo"te`:        `quo\"te`,
+		"new\nline":     `new\nline`,
+		"unicode-héllo": "unicode-héllo",
+		"tab\tstays":    "tab\tstays",
+	}
+	for in, want := range cases {
+		if got := PromEscapeLabel(in); got != want {
+			t.Errorf("PromEscapeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promEscapeHelp("a\\b\nc\"d"); got != `a\\b\nc"d` {
+		t.Errorf("promEscapeHelp = %q (quotes must stay verbatim in help)", got)
 	}
 }

@@ -38,6 +38,13 @@ type Grant struct {
 	// caller can correlate the grant — and the reservation's eventual
 	// completion — with the admission spans.  Zero means "untraced".
 	Trace uint64
+
+	// Shard identifies which admission shard committed the reservation
+	// when the grant came from a sharded plane (internal/fed); the
+	// monolithic arbitrator always reports shard 0.  Completion events
+	// must be delivered back to the same shard's accounting (the
+	// utilization ledger keys realized area by shard).
+	Shard int
 }
 
 // Finish returns the completion time of the granted reservation.

@@ -279,3 +279,30 @@ func RandomJob(rng *rand.Rand, id int, release float64, maxProcs int, laxity flo
 	}
 	return core.Job{ID: id, Release: release, Chains: chains}
 }
+
+// TenantCycle deterministically assigns accounting identity (tenant and
+// priority class) to a stream of arrivals: job i bills to tenant
+// Tenants[i mod len] at class (i / len) mod Classes.  Round-robin keeps
+// multi-tenant runs reproducible — the same seed and arrival process
+// always yield the same per-tenant ledger — and spreads classes across
+// tenants so every (tenant, class) cell sees traffic.
+type TenantCycle struct {
+	Tenants []string
+	Classes int // priority classes per tenant; <= 1 means a single class 0
+}
+
+// Assign returns the tenant and class for arrival id.  A nil cycle or an
+// empty tenant list assigns the unattributed identity ("", 0).
+func (tc *TenantCycle) Assign(id int) (tenant string, class int) {
+	if tc == nil || len(tc.Tenants) == 0 {
+		return "", 0
+	}
+	if id < 0 {
+		id = -id
+	}
+	tenant = tc.Tenants[id%len(tc.Tenants)]
+	if tc.Classes > 1 {
+		class = (id / len(tc.Tenants)) % tc.Classes
+	}
+	return tenant, class
+}

@@ -33,6 +33,7 @@ import (
 	"milan/internal/fed"
 	"milan/internal/obs"
 	"milan/internal/obs/forensics"
+	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 	"milan/internal/qos"
 	"milan/internal/taskgraph"
@@ -368,3 +369,44 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewRingSink returns a trace ring buffer holding up to n events.
 func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// Utilization ledger: per-tenant capacity accounting with waste
+// attribution across shards (internal/obs/ledger).
+type (
+	// Ledger is one shard's time-bucketed per-tenant capacity ledger
+	// (committed, realized and capacity areas; tiered-ring retention).
+	Ledger = ledger.Ledger
+	// LedgerConfig configures NewLedger / NewShardedLedger.
+	LedgerConfig = ledger.Config
+	// LedgerKey identifies one accounting stream (tenant, class).
+	LedgerKey = ledger.Key
+	// ShardedLedger is one ledger per admission shard with lock-free
+	// merged snapshots, for FedConfig.Ledger.
+	ShardedLedger = ledger.Sharded
+	// LedgerSnapshot is an immutable point-in-time view: per-key totals,
+	// time buckets and the derived utilization/waste/fragmentation/
+	// fair-share series.
+	LedgerSnapshot = ledger.Snapshot
+	// LedgerTotals is one (tenant, class) stream's exact totals.
+	LedgerTotals = ledger.Totals
+	// LedgerBucket is one time slot of a snapshot.
+	LedgerBucket = ledger.Bucket
+	// FairShare is one stream's share of reserved area relative to an
+	// equal split.
+	FairShare = ledger.FairShare
+)
+
+// NewLedger returns a single utilization ledger (a monolithic
+// arbitrator's accounting; hook it with Ledger.DecisionObserver).
+func NewLedger(cfg LedgerConfig) *Ledger { return ledger.New(cfg) }
+
+// NewShardedLedger returns n per-shard ledgers for a federated plane.
+func NewShardedLedger(cfg LedgerConfig, n int) *ShardedLedger {
+	return ledger.NewSharded(cfg, n)
+}
+
+// DecodeLedgerJSONL parses a LedgerSnapshot.WriteJSONL stream back into
+// a snapshot (the offline half of the accounting artifact).
+func DecodeLedgerJSONL(r io.Reader) (*LedgerSnapshot, error) {
+	return ledger.DecodeJSONL(r)
+}
