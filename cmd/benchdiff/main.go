@@ -92,7 +92,10 @@ func trimProcSuffix(name string) string {
 }
 
 // latestBaseline reads the trajectory JSONL and keeps the last row per
-// benchmark name — the file is append-only history.
+// benchmark name — the file is append-only history.  Rows written before
+// allocation tracking existed have no allocs_per_op key at all; those
+// decode as -1 ("unknown"), not 0, so an old baseline never gates a
+// candidate's allocations against a phantom zero.
 func latestBaseline(r io.Reader) (map[string]row, error) {
 	base := make(map[string]row)
 	sc := bufio.NewScanner(r)
@@ -104,12 +107,21 @@ func latestBaseline(r io.Reader) (map[string]row, error) {
 		if text == "" {
 			continue
 		}
-		var rw row
-		if err := json.Unmarshal([]byte(text), &rw); err != nil {
+		var aux struct {
+			Name        string  `json:"name"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp *int64  `json:"allocs_per_op"`
+			Note        string  `json:"note"`
+		}
+		if err := json.Unmarshal([]byte(text), &aux); err != nil {
 			return nil, fmt.Errorf("benchdiff: baseline line %d: %w", line, err)
 		}
-		if rw.Name == "" {
+		if aux.Name == "" {
 			return nil, fmt.Errorf("benchdiff: baseline line %d: missing name", line)
+		}
+		rw := row{Name: aux.Name, NsPerOp: aux.NsPerOp, AllocsPerOp: -1, Note: aux.Note}
+		if aux.AllocsPerOp != nil {
+			rw.AllocsPerOp = *aux.AllocsPerOp
 		}
 		base[rw.Name] = rw
 	}

@@ -68,6 +68,38 @@ func TestLatestBaselineLastWins(t *testing.T) {
 	}
 }
 
+// Trajectory rows written before allocation tracking existed carry no
+// allocs_per_op key at all.  Those baselines must decode as "unknown"
+// (-1), not 0 — otherwise any candidate that allocates gates against a
+// phantom zero-alloc baseline.
+func TestLatestBaselineMissingAllocsKey(t *testing.T) {
+	in := `{"name":"BenchmarkOld","ns_per_op":100,"note":"pre-benchmem row"}
+{"name":"BenchmarkZero","ns_per_op":100,"allocs_per_op":0}
+`
+	base, err := latestBaseline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkOld"].AllocsPerOp; got != -1 {
+		t.Fatalf("absent allocs_per_op decoded as %d, want -1", got)
+	}
+	if got := base["BenchmarkZero"].AllocsPerOp; got != 0 {
+		t.Fatalf("explicit zero allocs_per_op decoded as %d, want 0", got)
+	}
+
+	cand := []row{
+		{Name: "BenchmarkOld", NsPerOp: 100, AllocsPerOp: 7},
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 7},
+	}
+	vs := compare(base, cand, 0.15)
+	if vs[0].regress {
+		t.Errorf("candidate gated against a baseline with no allocation data: %+v", vs[0])
+	}
+	if !vs[1].regress || !vs[1].whyAlloc {
+		t.Errorf("explicit zero-alloc baseline must still gate: %+v", vs[1])
+	}
+}
+
 func TestLatestBaselineErrors(t *testing.T) {
 	for name, in := range map[string]string{
 		"bad json":     `{"name":`,

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"milan/internal/obs/slo"
+)
+
+// Artifact is one invariant breach persisted for replay: the campaign
+// context (scenario, plane, the seed that reproduces the run), the broken
+// invariant, the localized fault and — when the flight recorder caught
+// the breach — the full slo.Snapshot, so `slo.Replay` reproduces the
+// verdict anywhere from the file alone.
+//
+// The wire format is JSONL: one header line (the exported fields below),
+// then the embedded snapshot's own JSONL lines verbatim.  A header-only
+// artifact (no snapshot) is valid — some invariants, like capacity
+// conservation, are convicted by construction rather than by spans.
+type Artifact struct {
+	Version   int    `json:"v"`
+	Scenario  string `json:"scenario"`
+	Plane     string `json:"plane"`
+	Seed      int64  `json:"seed"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail,omitempty"`
+	Fault     string `json:"fault,omitempty"`
+
+	Snapshot *slo.Snapshot `json:"-"`
+}
+
+// artifactVersion is the JSONL format version written by WriteJSONL.
+const artifactVersion = 1
+
+// maxArtifactBytes bounds what DecodeArtifact will read (breach artifacts
+// are a snapshot plus a header, not a database).
+const maxArtifactBytes = 16 << 20
+
+// WriteJSONL writes the artifact: the header line, then the snapshot's
+// JSONL when one is attached.
+func (a *Artifact) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("campaign: artifact header: %w", err)
+	}
+	if a.Snapshot != nil {
+		if err := a.Snapshot.WriteJSONL(w); err != nil {
+			return fmt.Errorf("campaign: artifact snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeArtifact reads a JSONL artifact back (the round trip of
+// WriteJSONL): the first non-blank line is the header, everything after
+// it decodes through slo.DecodeSnapshot.
+func DecodeArtifact(r io.Reader) (*Artifact, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxArtifactBytes))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: artifact: %w", err)
+	}
+	// Skip leading blank lines to find the header.
+	for {
+		i := bytes.IndexByte(data, '\n')
+		head := data
+		if i >= 0 {
+			head = data[:i]
+		}
+		if len(bytes.TrimSpace(head)) > 0 {
+			break
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("campaign: empty artifact")
+		}
+		data = data[i+1:]
+	}
+	head, rest := data, []byte(nil)
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		head, rest = data[:i], data[i+1:]
+	}
+	var a Artifact
+	if err := json.Unmarshal(head, &a); err != nil {
+		return nil, fmt.Errorf("campaign: artifact header: %w", err)
+	}
+	if a.Version != artifactVersion {
+		return nil, fmt.Errorf("campaign: artifact version %d (want %d)", a.Version, artifactVersion)
+	}
+	if a.Scenario == "" {
+		return nil, fmt.Errorf("campaign: artifact missing scenario")
+	}
+	if a.Invariant == "" {
+		return nil, fmt.Errorf("campaign: artifact missing invariant")
+	}
+	if len(bytes.TrimSpace(rest)) > 0 {
+		snap, err := slo.DecodeSnapshot(bytes.NewReader(rest))
+		if err != nil {
+			return nil, err
+		}
+		a.Snapshot = snap
+	}
+	return &a, nil
+}
+
+// ReplayArtifact localizes the artifact's fault from its own contents:
+// the embedded snapshot's verdict when one is attached, else the fault
+// recorded by construction at breach time.
+func ReplayArtifact(a *Artifact) slo.Verdict {
+	if a.Snapshot != nil {
+		return slo.Replay(a.Snapshot)
+	}
+	return slo.Verdict{Fault: a.Fault, Reason: a.Detail}
+}

@@ -27,6 +27,20 @@ const (
 	// TriggerRebalanceStorm: processor migrations crossed the
 	// short-window threshold (rebalancer thrash).
 	TriggerRebalanceStorm TriggerKind = "rebalance-storm"
+	// TriggerFairnessBreach: the admission shedder broke a fairness
+	// invariant — weighted class shares diverged, a shed skipped a
+	// higher class, or an under-quota tenant starved past the bounded
+	// window (shedder fault by construction).
+	TriggerFairnessBreach TriggerKind = "fairness-breach"
+	// TriggerCapacityDrift: the plane's total capacity stopped matching
+	// the resource pool — processors were lost or duplicated by
+	// migrations or broker-driven resizes (rebalancer fault by
+	// construction).
+	TriggerCapacityDrift TriggerKind = "capacity-drift"
+	// TriggerMaskingLoss: the fault-masking runtime lost committed work —
+	// a task's writes never reached the store despite the crash budget
+	// (runtime fault by construction).
+	TriggerMaskingLoss TriggerKind = "masking-loss"
 	// TriggerManual: an operator-requested snapshot.
 	TriggerManual TriggerKind = "manual"
 )

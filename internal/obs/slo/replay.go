@@ -17,9 +17,13 @@ import (
 //	planner   the reservation it commits must finish by the deadline
 //	          (reservedFinish <= deadline)
 //	router    probe/commit must converge without livelocking on races
-//	rebalancer migrations must stay below the storm threshold
+//	rebalancer migrations must stay below the storm threshold and
+//	          conserve the plane's total capacity
 //	runtime   execution must finish by the reserved finish time
-//	          (actualFinish <= reservedFinish)
+//	          (actualFinish <= reservedFinish) without losing committed
+//	          work
+//	shedder   saturation shedding must respect the configured weights,
+//	          quotas and starvation bound
 //
 // A deadline miss therefore decomposes: if admission already reserved past
 // the deadline the planner is at fault (the miss was decided at admission
@@ -32,6 +36,7 @@ const (
 	FaultRouter     = "router"
 	FaultRebalancer = "rebalancer"
 	FaultRuntime    = "runtime"
+	FaultShedder    = "shedder"
 	FaultUnknown    = "unknown"
 )
 
@@ -101,6 +106,18 @@ func Replay(s *Snapshot) Verdict {
 	case TriggerCommitRaceSpike:
 		v.Fault = FaultRouter
 		v.Reason = "optimistic-commit fallbacks crossed the race threshold"
+		return v
+	case TriggerFairnessBreach:
+		v.Fault = FaultShedder
+		v.Reason = "admission shedding broke a fairness invariant"
+		return v
+	case TriggerCapacityDrift:
+		v.Fault = FaultRebalancer
+		v.Reason = "plane capacity stopped matching the resource pool"
+		return v
+	case TriggerMaskingLoss:
+		v.Fault = FaultRuntime
+		v.Reason = "fault-masking runtime lost committed work"
 		return v
 	}
 

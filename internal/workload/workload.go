@@ -306,3 +306,45 @@ func (tc *TenantCycle) Assign(id int) (tenant string, class int) {
 	}
 	return tenant, class
 }
+
+// SkewedTenants assigns tenants with a deterministic hot spot: HotPer of
+// every Per consecutive arrivals bill to the Hot tenant, the rest cycle
+// through Cold.  This is the identity skew an arrival storm needs — one
+// tenant dominating the stream — while staying a pure function of the
+// arrival id, so campaign runs replay bit-identically from their seed.
+type SkewedTenants struct {
+	Hot     string
+	Cold    []string
+	HotPer  int // arrivals per window billed to Hot (default 3)
+	Per     int // window length (default 4)
+	Classes int
+}
+
+// Assign returns the tenant and class for arrival id.
+func (s *SkewedTenants) Assign(id int) (tenant string, class int) {
+	if s == nil {
+		return "", 0
+	}
+	if id < 0 {
+		id = -id
+	}
+	per, hot := s.Per, s.HotPer
+	if per < 1 {
+		per = 4
+	}
+	if hot < 1 {
+		hot = 3
+	}
+	if hot > per {
+		hot = per
+	}
+	if s.Classes > 1 {
+		class = id % s.Classes
+	}
+	pos := id % per
+	if pos < hot || len(s.Cold) == 0 {
+		return s.Hot, class
+	}
+	cold := (id/per)*(per-hot) + (pos - hot)
+	return s.Cold[cold%len(s.Cold)], class
+}

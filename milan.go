@@ -410,3 +410,28 @@ func NewShardedLedger(cfg LedgerConfig, n int) *ShardedLedger {
 func DecodeLedgerJSONL(r io.Reader) (*LedgerSnapshot, error) {
 	return ledger.DecodeJSONL(r)
 }
+
+type (
+	// Shedder fronts any Negotiator with saturation admission control:
+	// per-tenant quotas, weighted-fair service across priority classes,
+	// and graceful load shedding with a bounded-starvation guarantee.
+	Shedder = qos.Shedder
+	// ShedderConfig configures NewShedder (quotas, class weights,
+	// saturation threshold, starvation window).
+	ShedderConfig = qos.ShedConfig
+	// ShedDecision is one admission-control verdict, delivered to
+	// ShedderConfig.Observer.
+	ShedDecision = qos.ShedDecision
+	// ShedderStats aggregates offered/admitted/shed counts per class.
+	ShedderStats = qos.ShedStats
+)
+
+// ErrShed is the rejection returned for load-shed jobs; it wraps
+// ErrRejected, so existing callers observe a normal rejection.
+var ErrShed = qos.ErrShed
+
+// NewShedder wraps a negotiator (monolithic or federated arbitrator)
+// with quota/weighted-fair admission shedding.
+func NewShedder(inner Negotiator, cfg ShedderConfig) (*Shedder, error) {
+	return qos.NewShedder(inner, cfg)
+}
