@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"io"
+)
+
+type flags struct {
+	fs       *flag.FlagSet
+	mode     *string
+	seed     *int64
+	iters    *int
+	ops      *int
+	shards   *int
+	kills    *int
+	dir      *string
+	artifact *string
+}
+
+func newFlags(stderr io.Writer) flags {
+	fs := flag.NewFlagSet("crashtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return flags{
+		fs:       fs,
+		mode:     fs.String("mode", "vfs", "vfs (in-memory fault-injected crash loop) | sigkill (real-process kill loop) | child (internal)"),
+		seed:     fs.Int64("seed", 0, "run seed (0 = derive from the clock; the chosen seed is always printed)"),
+		iters:    fs.Int("iters", 15, "vfs mode: crash-loop epochs (phases cycle per epoch)"),
+		ops:      fs.Int("ops", 120, "vfs mode: ops per epoch (each op is one WAL record)"),
+		shards:   fs.Int("shards", 2, "admission-plane shards"),
+		kills:    fs.Int("kills", 5, "sigkill mode: child kill/recover cycles"),
+		dir:      fs.String("dir", "", "sigkill/child mode: WAL directory (default: a temp dir)"),
+		artifact: fs.String("artifact", "", "append divergence reports (JSONL) to this file for CI upload"),
+	}
+}

@@ -1,0 +1,512 @@
+// Command crashtest proves the durable admission plane's crash-recovery
+// contract end to end.
+//
+// In -mode vfs (the default) it drives a seed-deterministic admission
+// storm against a durable.Plane on the fault-injecting in-memory
+// filesystem and crashes it mid-storm, cycling through fault phases:
+//
+//	sync-always    honest disk, fsync per record: a crash may lose nothing
+//	unsynced-loss  group commit (sync every 4): the unsynced tail may die
+//	write-error    injected write failure poisons the plane mid-storm
+//	sync-lie       fsync reports success but persists nothing
+//	syncdir-lie    directory fsync lies across a snapshot compaction
+//
+// After every crash the differential oracle re-drives the first m ops
+// (m = recovered LSN; ops map 1:1 onto WAL records) through a fresh,
+// never-crashed plane and requires the recovered state to be
+// bitwise-identical — profiles, stats, grants, clock.  The sync-always
+// phase additionally requires zero acked-grant loss, and the two lie
+// phases must each provably LOSE at least one acknowledged grant across
+// the run: a lying disk that the oracle cannot convict means the oracle
+// is blind, and the run fails.
+//
+// In -mode sigkill the same storm runs in a child process (re-exec of
+// this binary) against the real filesystem; the parent SIGKILLs the
+// child mid-storm, recovers the directory, and requires every grant the
+// child acknowledged on stdout to survive replay.
+//
+// Every run is a pure function of -seed; the chosen seed is always
+// printed, and any divergence is written to -artifact for CI upload.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"milan/internal/core"
+	"milan/internal/durable"
+	"milan/internal/durable/vfs"
+	"milan/internal/qos"
+	"milan/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// op is one unit of driven work.  Every op appends exactly one WAL
+// record (observe -> KindObserve, negotiate -> KindAdmit or KindReject),
+// so op index i commits as LSN i+1 and a recovered LSN m means ops[0:m]
+// are the committed prefix.
+type op struct {
+	observe bool
+	now     float64
+	job     core.Job
+}
+
+// genOps builds the deterministic op stream for a seed.
+func genOps(n int, seed int64) []op {
+	tmpl := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}
+	arr := workload.NewPoisson(6, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	ops := make([]op, 0, n)
+	now := 0.0
+	id := 0
+	for len(ops) < n {
+		now += arr.Next()
+		ops = append(ops, op{observe: true, now: now})
+		for k := rng.Intn(2); k >= 0 && len(ops) < n; k-- {
+			ops = append(ops, op{now: now, job: tmpl.Job(id, now, workload.Tunable)})
+			id++
+		}
+	}
+	return ops
+}
+
+type planeCfg struct {
+	procs, shards int
+	store         durable.StoreOptions
+}
+
+func openPlane(fs vfs.FS, dir string, cfg planeCfg) (*durable.Plane, durable.Recovered, error) {
+	return durable.OpenPlane(durable.Config{
+		FS: fs, Dir: dir,
+		Procs: cfg.procs, Shards: cfg.shards, ProbeK: 1,
+		Store: cfg.store,
+	})
+}
+
+// driveOps pushes ops[from:until] through the plane.  Rejections are
+// normal; any other negotiate error (poisoned store, injected fault)
+// stops the drive and is returned with the index reached.
+func driveOps(p *durable.Plane, ops []op, from, until int, onAck func(id int, finish float64)) (int, error) {
+	for i := from; i < until; i++ {
+		o := ops[i]
+		if o.observe {
+			p.Observe(o.now)
+			if err := p.Err(); err != nil {
+				return i, err
+			}
+			continue
+		}
+		g, err := p.Negotiate(o.job)
+		switch {
+		case err == nil:
+			if onAck != nil {
+				onAck(o.job.ID, g.Finish())
+			}
+		case errors.Is(err, qos.ErrRejected):
+		default:
+			return i, err
+		}
+	}
+	return until, nil
+}
+
+// referenceState re-drives ops[0:m] through a fresh in-memory plane that
+// never crashes and returns its exported state: the ground truth any
+// recovery must match bitwise.
+func referenceState(ops []op, m int, cfg planeCfg) (durable.State, error) {
+	ref, _, err := openPlane(vfs.NewMem(), "ref", planeCfg{procs: cfg.procs, shards: cfg.shards})
+	if err != nil {
+		return durable.State{}, err
+	}
+	if _, err := driveOps(ref, ops, 0, m, nil); err != nil {
+		return durable.State{}, fmt.Errorf("reference drive: %w", err)
+	}
+	return ref.ExportState(), nil
+}
+
+// divergence is the artifact written when the oracle fires.
+type divergence struct {
+	Mode      string `json:"mode"`
+	Seed      int64  `json:"seed"`
+	Phase     string `json:"phase,omitempty"`
+	Iteration int    `json:"iteration"`
+	CrashOp   int    `json:"crash_op"`
+	Recovered uint64 `json:"recovered_lsn"`
+	Torn      bool   `json:"torn"`
+	Detail    string `json:"detail"`
+	When      string `json:"when"`
+}
+
+func writeDivergence(path string, d divergence) {
+	if path == "" {
+		return
+	}
+	d.When = time.Now().UTC().Format(time.RFC3339)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(f)
+	_ = enc.Encode(d)
+	_ = f.Close()
+}
+
+type phase struct {
+	name string
+	// store options for this phase's epochs.
+	store durable.StoreOptions
+	// arm injects the phase's fault; armAt/crashAt are op offsets within
+	// the epoch.
+	arm func(ft *vfs.Fault, rng *rand.Rand)
+	// lossAllowed: acked grants may legally die (weak sync policy).
+	lossAllowed bool
+	// mustLose: the phase is a conviction test — across the whole run it
+	// must demonstrably lose at least one acked grant.
+	mustLose bool
+}
+
+func phases() []phase {
+	return []phase{
+		{
+			name:  "sync-always",
+			store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 16},
+		},
+		{
+			name:        "unsynced-loss",
+			store:       durable.StoreOptions{Sync: durable.SyncEveryN, SyncEvery: 4, SnapshotEvery: 16},
+			lossAllowed: true,
+		},
+		{
+			name:  "write-error",
+			store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 16},
+			arm: func(ft *vfs.Fault, rng *rand.Rand) {
+				ft.SetWriteError(errors.New("injected write error"), 5+rng.Intn(40))
+			},
+		},
+		{
+			name:  "sync-lie",
+			store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 16},
+			arm: func(ft *vfs.Fault, rng *rand.Rand) {
+				ft.SetSyncLie(true)
+			},
+			lossAllowed: true,
+			mustLose:    true,
+		},
+		{
+			name:  "syncdir-lie",
+			store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 16},
+			arm: func(ft *vfs.Fault, rng *rand.Rand) {
+				ft.SetSyncDirLie(true)
+			},
+			lossAllowed: true,
+			mustLose:    true,
+		},
+	}
+}
+
+// runVFS is the in-memory crash loop: iters epochs cycling through the
+// fault phases, each ending in a crash and a differential check.
+func runVFS(seed int64, iters, opsPerIter, shards int, artifact string, stdout, stderr io.Writer) int {
+	ph := phases()
+	total := iters*opsPerIter + opsPerIter
+	ops := genOps(total, seed)
+	cfgFor := func(p phase) planeCfg {
+		return planeCfg{procs: 16, shards: shards, store: p.store}
+	}
+
+	lost := make(map[string]int) // phase -> acked grants provably lost
+	crashes := 0
+	fail := func(d divergence, format string, args ...any) int {
+		d.Mode, d.Seed = "vfs", seed
+		d.Detail = fmt.Sprintf(format, args...)
+		writeDivergence(artifact, d)
+		fmt.Fprintf(stderr, "crashtest: FAIL %s (phase=%s iter=%d): %s\n", d.Mode, d.Phase, d.Iteration, d.Detail)
+		return 1
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		p := ph[iter%len(ph)]
+		rng := rand.New(rand.NewSource(seed + int64(iter)*7919))
+		cfg := cfgFor(p)
+
+		// Each epoch starts from an empty disk and crash-cycles within it,
+		// so every phase exercises genesis, mid-log and post-snapshot
+		// recovery points.
+		ft := vfs.NewFault(vfs.NewMem())
+		plane, _, err := openPlane(ft, "wal", cfg)
+		if err != nil {
+			return fail(divergence{Phase: p.name, Iteration: iter}, "open: %v", err)
+		}
+		next := 0
+		acked := make(map[int]float64) // jobID -> reserved finish
+		for cycle := 0; cycle < 3 && next < len(ops); cycle++ {
+			crashAt := next + opsPerIter/3 + rng.Intn(opsPerIter/3+1)
+			if crashAt > len(ops) {
+				crashAt = len(ops)
+			}
+			if p.arm != nil && cycle == 1 {
+				// Arm the fault partway through the epoch so a clean
+				// prefix exists under it.
+				p.arm(ft, rng)
+			}
+			reached, derr := driveOps(plane, ops, next, crashAt, func(id int, fin float64) {
+				acked[id] = fin
+			})
+			if derr != nil && p.arm == nil {
+				return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached},
+					"unexpected drive error: %v", derr)
+			}
+
+			ft.Crash()
+			crashes++
+			// Faults do not survive the "reboot".
+			ft.SetWriteError(nil, 0)
+			ft.SetSyncError(nil, 0)
+			ft.SetSyncLie(false)
+			ft.SetSyncDirLie(false)
+
+			var rec durable.Recovered
+			plane, rec, err = reopen(ft, cfg)
+			if err != nil {
+				return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached},
+					"recovery: %v", err)
+			}
+			m := int(rec.State.LSN)
+			if m > reached {
+				return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached, Recovered: rec.State.LSN, Torn: rec.Torn},
+					"recovered lsn %d beyond driven op %d", m, reached)
+			}
+
+			// Differential oracle: recovered state == never-crashed
+			// reference over the committed prefix, bit for bit.
+			want, err := referenceState(ops, m, cfg)
+			if err != nil {
+				return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached}, "%v", err)
+			}
+			got := plane.ExportState()
+			if err := durable.DiffStates(&got, &want); err != nil {
+				return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached, Recovered: rec.State.LSN, Torn: rec.Torn},
+					"recovered state diverged from reference: %v", err)
+			}
+
+			// Grant-loss accounting: acked, still pending, absent.
+			have := make(map[int]bool)
+			for _, g := range plane.Grants() {
+				have[g.JobID] = true
+			}
+			for id, fin := range acked {
+				if fin <= plane.Now() {
+					delete(acked, id)
+					continue
+				}
+				if !have[id] {
+					lost[p.name]++
+					delete(acked, id)
+					if !p.lossAllowed {
+						return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached, Recovered: rec.State.LSN, Torn: rec.Torn},
+							"acked grant %d lost under %s", id, p.name)
+					}
+				}
+			}
+			next = m
+			_ = reached
+		}
+		_ = plane
+	}
+
+	// Conviction: the lying-disk phases must have provably lost acked
+	// grants — otherwise the oracle cannot detect a lying disk at all.
+	for _, p := range ph {
+		if p.mustLose && lost[p.name] == 0 {
+			return fail(divergence{Phase: p.name},
+				"lie phase lost no acked grants across %d crashes — oracle is blind to a lying disk", crashes)
+		}
+	}
+	fmt.Fprintf(stdout, "crashtest vfs ok: seed=%d crashes=%d losses=%v\n", seed, crashes, lost)
+	return 0
+}
+
+func reopen(fs vfs.FS, cfg planeCfg) (*durable.Plane, durable.Recovered, error) {
+	return openPlane(fs, "wal", cfg)
+}
+
+// runChild is the sigkill-mode child: it recovers the directory, then
+// drives the deterministic op stream against the real filesystem,
+// printing "ack <jobID> <finish>" after every acknowledged grant.  It is
+// killed by the parent; it never exits on its own unless the stream ends.
+func runChild(dir string, seed int64, shards int, stdout io.Writer) int {
+	var fs vfs.OS
+	if err := fs.MkdirAll(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: %v\n", err)
+		return 2
+	}
+	cfg := planeCfg{procs: 16, shards: shards,
+		store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 32}}
+	plane, rec, err := openPlane(fs, dir, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
+		return 2
+	}
+	ops := genOps(4096, seed)
+	next := int(rec.State.LSN)
+	w := bufio.NewWriter(stdout)
+	_, err = driveOps(plane, ops, next, len(ops), func(id int, fin float64) {
+		// The ack is printed only after Negotiate returned, i.e. after
+		// the admit record was fsynced: every printed line must survive.
+		fmt.Fprintf(w, "ack %d %x\n", id, uint64(fin*1e6))
+		w.Flush()
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: drive: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// runSigkill crash-loops a real process: spawn the child, harvest acks,
+// SIGKILL it mid-storm, recover the directory and require every
+// acknowledged grant to have survived.  The final pass also runs the
+// differential oracle against the in-memory reference.
+func runSigkill(seed int64, kills, shards int, dir, artifact string, stdout, stderr io.Writer) int {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "crashtest-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "crashtest: %v\n", err)
+			return 2
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "crashtest: %v\n", err)
+		return 2
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x51ead))
+	acked := make(map[int]bool)
+	ops := genOps(4096, seed)
+
+	fail := func(iter int, format string, args ...any) int {
+		d := divergence{Mode: "sigkill", Seed: seed, Iteration: iter, Detail: fmt.Sprintf(format, args...)}
+		writeDivergence(artifact, d)
+		fmt.Fprintf(stderr, "crashtest: FAIL sigkill (iter=%d): %s\n", iter, d.Detail)
+		return 1
+	}
+
+	for k := 0; k < kills; k++ {
+		cmd := exec.Command(exe,
+			"-mode", "child", "-dir", dir,
+			"-seed", strconv.FormatInt(seed, 10),
+			"-shards", strconv.Itoa(shards))
+		cmd.Stderr = stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(k, "pipe: %v", err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(k, "start: %v", err)
+		}
+		// Harvest a random number of acks, then SIGKILL mid-storm.
+		quota := 3 + rng.Intn(20)
+		sc := bufio.NewScanner(pipe)
+		harvested := 0
+		for harvested < quota && sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 3 || fields[0] != "ack" {
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail(k, "bad ack line %q", sc.Text())
+			}
+			acked[id] = true
+			harvested++
+		}
+		_ = cmd.Process.Kill() // SIGKILL: no cleanup, no deferred flushes
+		go io.Copy(io.Discard, pipe)
+		_ = cmd.Wait()
+
+		// Recover the real directory and check acked ⊆ recovered.
+		var fs vfs.OS
+		cfg := planeCfg{procs: 16, shards: shards,
+			store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 32}}
+		plane, rec, err := openPlane(fs, dir, cfg)
+		if err != nil {
+			return fail(k, "recovery: %v", err)
+		}
+		have := make(map[int]bool)
+		for _, g := range plane.Grants() {
+			have[g.JobID] = true
+		}
+		finishOf := make(map[int]float64)
+		for _, o := range ops {
+			if !o.observe {
+				finishOf[o.job.ID] = o.now // release; conservative lower bound
+			}
+		}
+		for id := range acked {
+			if have[id] {
+				continue
+			}
+			// The grant may have legitimately elapsed: its tasks all end
+			// before the recovered clock.  Released-after-now grants can
+			// never have elapsed.
+			if finishOf[id] > plane.Now() {
+				return fail(k, "acked grant %d missing after SIGKILL recovery (lsn %d torn=%t)",
+					id, rec.State.LSN, rec.Torn)
+			}
+			delete(acked, id)
+		}
+		// Differential oracle on the real directory, same as vfs mode.
+		m := int(rec.State.LSN)
+		want, err := referenceState(ops, m, cfg)
+		if err != nil {
+			return fail(k, "%v", err)
+		}
+		got := plane.ExportState()
+		if err := durable.DiffStates(&got, &want); err != nil {
+			return fail(k, "recovered state diverged from reference at lsn %d: %v", m, err)
+		}
+		if err := plane.Close(); err != nil {
+			return fail(k, "close: %v", err)
+		}
+	}
+	fmt.Fprintf(stdout, "crashtest sigkill ok: seed=%d kills=%d acked-survived=%d\n", seed, kills, len(acked))
+	return 0
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags(stderr)
+	if err := fs.fs.Parse(args); err != nil {
+		return 2
+	}
+	seed := *fs.seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	switch *fs.mode {
+	case "vfs":
+		fmt.Fprintf(stdout, "crashtest mode=vfs seed=%d\n", seed)
+		return runVFS(seed, *fs.iters, *fs.ops, *fs.shards, *fs.artifact, stdout, stderr)
+	case "sigkill":
+		fmt.Fprintf(stdout, "crashtest mode=sigkill seed=%d\n", seed)
+		return runSigkill(seed, *fs.kills, *fs.shards, *fs.dir, *fs.artifact, stdout, stderr)
+	case "child":
+		return runChild(*fs.dir, seed, *fs.shards, stdout)
+	default:
+		fmt.Fprintf(stderr, "crashtest: unknown -mode %q\n", *fs.mode)
+		return 2
+	}
+}

@@ -4,10 +4,17 @@
 // granularities and search distances trading step-1 resources against
 // step-3 resources at comparable output quality.
 //
+// With -wal-dir the process additionally serves a durable admission
+// plane: committed grants are journaled to an append-only WAL in that
+// directory, and a restart recovers every acknowledged reservation
+// before accepting new negotiations.
+//
 // Usage:
 //
 //	junctiond [-size N] [-rects K] [-workers W] [-seed S] [-faults]
 //	          [-debug-addr HOST:PORT] [-pprof]
+//	          [-wal-dir DIR] [-admit-addr HOST:PORT] [-wal-sync POLICY]
+//	          [-snapshot-every N] [-admit-procs P] [-admit-shards S]
 package main
 
 import (
@@ -23,9 +30,12 @@ import (
 
 	"milan/internal/calypso"
 	"milan/internal/core"
+	"milan/internal/durable"
+	"milan/internal/durable/vfs"
 	"milan/internal/junction"
 	"milan/internal/obs"
 	"milan/internal/obs/ledger"
+	"milan/internal/qos/qosnet"
 )
 
 // lastRuntime holds the most recently constructed Calypso runtime so the
@@ -42,6 +52,12 @@ func main() {
 	video := flag.Int("video", 0, "process a synthetic video of N frames instead of a single image")
 	debugAddr := flag.String("debug-addr", "", "serve the observability debug endpoint (/metrics, /trace, /gantt) on this address")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof on the debug endpoint (requires -debug-addr)")
+	walDir := flag.String("wal-dir", "", "serve a durable admission plane journaled to this directory")
+	admitAddr := flag.String("admit-addr", "127.0.0.1:0", "listen address for the durable admission service (requires -wal-dir)")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always | every-n | never (requires -wal-dir)")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions (requires -wal-dir)")
+	admitProcs := flag.Int("admit-procs", 0, "admission-plane processors (0 = -workers)")
+	admitShards := flag.Int("admit-shards", 1, "admission-plane shards")
 	flag.Parse()
 
 	if *pprofFlag && *debugAddr == "" {
@@ -76,6 +92,20 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt /healthz)\n\n", addr)
+	}
+
+	if *walDir != "" {
+		srv, plane, err := serveAdmission(observer, admitConfig{
+			dir: *walDir, addr: *admitAddr, sync: *walSync,
+			snapshotEvery: *snapshotEvery,
+			procs:         pickProcs(*admitProcs, *workers),
+			shards:        *admitShards,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer plane.Close()
+		defer srv.Close()
 	}
 
 	if *video > 0 {
@@ -200,6 +230,59 @@ func runVideo(frames, workers int, seed int64, radius float64) error {
 	tw.Flush()
 	fmt.Printf("\nmean F1: fine %.3f, coarse %.3f\n", fineSum/float64(frames), coarseSum/float64(frames))
 	return nil
+}
+
+type admitConfig struct {
+	dir, addr, sync string
+	snapshotEvery   int
+	procs, shards   int
+}
+
+func pickProcs(admitProcs, workers int) int {
+	if admitProcs > 0 {
+		return admitProcs
+	}
+	if workers > 0 {
+		return workers
+	}
+	return 1
+}
+
+// serveAdmission opens (recovering) the durable admission plane on the
+// real filesystem and serves it over the qosnet wire protocol.  When an
+// observer is attached, the durability instruments land in its registry,
+// so /metrics exposes append latency, fsync counts, snapshot sizes and
+// recovery replay time.
+func serveAdmission(observer *obs.Observer, cfg admitConfig) (*qosnet.Server, *durable.Plane, error) {
+	pol, err := durable.ParseSyncPolicy(cfg.sync)
+	if err != nil {
+		return nil, nil, fmt.Errorf("junctiond: %w", err)
+	}
+	var fs vfs.OS
+	if err := fs.MkdirAll(cfg.dir); err != nil {
+		return nil, nil, fmt.Errorf("junctiond: wal dir: %w", err)
+	}
+	var met *durable.Metrics
+	if observer != nil {
+		met = durable.NewMetrics(observer.Reg)
+	}
+	plane, rec, err := durable.OpenPlane(durable.Config{
+		FS: fs, Dir: cfg.dir,
+		Procs: cfg.procs, Shards: cfg.shards, ProbeK: 1,
+		Store:   durable.StoreOptions{Sync: pol, SnapshotEvery: cfg.snapshotEvery},
+		Metrics: met,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("junctiond: open admission plane: %w", err)
+	}
+	srv, err := qosnet.ListenAndServe(plane, cfg.addr)
+	if err != nil {
+		plane.Close()
+		return nil, nil, fmt.Errorf("junctiond: %w", err)
+	}
+	fmt.Printf("admission plane: %s (wal %s, sync=%s, recovered lsn=%d records=%d grants=%d replay=%s)\n\n",
+		srv.Addr(), cfg.dir, pol, rec.State.LSN, rec.Records, len(plane.Grants()), rec.ReplayDuration)
+	return srv, plane, nil
 }
 
 // startDebug serves the observer's debug handler on addr, returning the

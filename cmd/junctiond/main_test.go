@@ -9,6 +9,8 @@ import (
 	"milan/internal/calypso"
 	"milan/internal/junction"
 	"milan/internal/obs"
+	"milan/internal/qos/qosnet"
+	"milan/internal/workload"
 )
 
 // TestStartDebugServesInstrumentedRun runs one junction-detection config
@@ -67,5 +69,60 @@ func TestStartDebugServesInstrumentedRun(t *testing.T) {
 func TestStartDebugBadAddr(t *testing.T) {
 	if _, _, err := startDebug(obs.New(obs.Config{}), "127.0.0.1:999999"); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestServeAdmissionRecoversGrants: the -wal-dir admission service must
+// recover a committed grant across a restart, over the wire protocol.
+func TestServeAdmissionRecoversGrants(t *testing.T) {
+	dir := t.TempDir() + "/wal"
+	o := obs.New(obs.Config{})
+	cfg := admitConfig{dir: dir, addr: "127.0.0.1:0", sync: "always",
+		snapshotEvery: 64, procs: 8, shards: 1}
+	srv, plane, err := serveAdmission(o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := qosnet.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}.Job(1, 0, workload.Tunable)
+	if err := c.Observe(0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Negotiate(job)
+	if err != nil {
+		t.Fatalf("negotiate over the wire: %v", err)
+	}
+	c.Close()
+	srv.Close()
+	if err := plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, plane2, err := serveAdmission(nil, cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	defer plane2.Close()
+	grants := plane2.Grants()
+	if len(grants) != 1 || grants[0].JobID != g.JobID {
+		t.Fatalf("restart recovered grants %+v, want job %d", grants, g.JobID)
+	}
+
+	// The durability instruments landed in the observer's /metrics registry.
+	snap := o.Reg.Snapshot()
+	if snap.Counters["durable_appends"] == 0 {
+		t.Fatalf("durable instruments missing from the registry: %v", snap.Counters)
+	}
+}
+
+func TestServeAdmissionBadPolicy(t *testing.T) {
+	if _, _, err := serveAdmission(nil, admitConfig{dir: t.TempDir(), addr: "127.0.0.1:0",
+		sync: "sometimes", snapshotEvery: 64, procs: 4, shards: 1}); err == nil {
+		t.Fatal("bad sync policy accepted")
 	}
 }

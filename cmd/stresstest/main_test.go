@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A one-second soak must complete clean on a pinned seed.
+func TestSoakShortBudget(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-budget", "1s", "-seed", "7", "-crash-every", "150"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "stresstest ok") {
+		t.Fatalf("no ok line in %q", out.String())
+	}
+	if !strings.Contains(out.String(), "cycle 1 ok") {
+		t.Fatalf("budget drained without a single crash cycle: %q", out.String())
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -42,6 +42,9 @@ const (
 	// PlaneRuntime marks scenarios that exercise the calypso execution
 	// runtime rather than an admission plane.
 	PlaneRuntime Plane = "runtime"
+	// PlaneDurable is the WAL-backed admission plane (durable.Plane):
+	// node-kill scenarios crash and recover it mid-storm.
+	PlaneDurable Plane = "durable"
 )
 
 // Inject selects deliberate faults for campaign self-tests: each one
@@ -58,6 +61,11 @@ type Inject struct {
 	// ShedderBypass turns the fairness shedder off while leaving the
 	// fairness invariant checks armed (fault=shedder).
 	ShedderBypass bool
+	// DroppedFsync arms a lying fsync in the node-kill scenario's
+	// filesystem shortly before each kill: acknowledged grants ride on
+	// syncs that never reached the platter, so recovery comes back
+	// missing them (fault=durability).
+	DroppedFsync bool
 }
 
 // Config parameterizes a campaign.

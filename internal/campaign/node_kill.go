@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"milan/internal/durable"
+	"milan/internal/durable/vfs"
+	"milan/internal/obs/slo"
+	"milan/internal/qos"
+	"milan/internal/workload"
+)
+
+// nodeKillRun storms the WAL-backed durable plane and kills the node
+// (vfs crash: every unsynced byte vanishes) three times mid-storm,
+// recovering from the log each time.  The invariant is the durability
+// contract: under SyncAlways on an honest disk, every grant acknowledged
+// before a kill and still pending at recovery must come back as a
+// committed grant.  The whole run — arrivals, decisions, kill points,
+// recovery — is a pure function of the seed.
+//
+// With Inject.DroppedFsync the filesystem starts lying about fsync a few
+// jobs before each kill, so the acked tail rides on syncs that never
+// happened; recovery then comes back short and the run must convict the
+// durability layer (TriggerDurabilityLoss -> fault=durability).
+func nodeKillRun(cfg Config, sc Scenario, seed int64) (RunReport, error) {
+	rr := RunReport{Scenario: sc.Name, Plane: PlaneDurable, Seed: seed, Jobs: cfg.Jobs}
+	digest := fnv.New64a()
+	ft := vfs.NewFault(vfs.NewMem())
+	open := func() (*durable.Plane, durable.Recovered, error) {
+		return durable.OpenPlane(durable.Config{
+			FS: ft, Dir: "wal",
+			Procs: cfg.Procs, Shards: cfg.Shards, ProbeK: cfg.ProbeK,
+			Store: durable.StoreOptions{Sync: durable.SyncAlways, SnapshotEvery: 48},
+		})
+	}
+	p, _, err := open()
+	if err != nil {
+		return rr, err
+	}
+
+	kill := cfg.Jobs / 3
+	if kill < 10 {
+		kill = 10
+	}
+	const lieWindow = 5 // jobs before each kill with the lying fsync armed
+
+	arrivals := sc.Arrivals(seed)
+	acked := make(map[int]float64) // jobID -> reserved finish of acked grants
+	var buf [8]byte
+	hash := func(id int, verdict byte, g *qos.Grant) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(id))
+		digest.Write(buf[:])
+		digest.Write([]byte{verdict})
+		if g != nil {
+			for _, v := range []uint64{
+				uint64(g.Chain),
+				uint64(g.Shard),
+				math.Float64bits(g.Placement.Start()),
+				math.Float64bits(g.Placement.Finish()),
+			} {
+				binary.LittleEndian.PutUint64(buf[:], v)
+				digest.Write(buf[:])
+			}
+		}
+	}
+
+	now := 0.0
+	for id := 0; id < cfg.Jobs; id++ {
+		now += arrivals.Next()
+		if cfg.Inject.DroppedFsync && id%kill == kill-lieWindow {
+			ft.SetSyncLie(true)
+		}
+		p.Observe(now)
+		job := sc.Job.Job(id, now, workload.Tunable)
+		g, nerr := p.Negotiate(job)
+		switch {
+		case nerr == nil:
+			rr.Admitted++
+			acked[id] = g.Finish()
+			hash(id, 'A', g)
+		case errors.Is(nerr, qos.ErrRejected):
+			rr.Rejected++
+			hash(id, 'R', nil)
+		case errors.Is(nerr, qos.ErrShed):
+			rr.Shed++
+			hash(id, 'S', nil)
+		default:
+			return rr, fmt.Errorf("node-kill: job %d: %w", id, nerr)
+		}
+
+		if (id+1)%kill != 0 {
+			continue
+		}
+		// Node kill: everything unsynced vanishes, then the plane recovers
+		// from whatever the disk honestly persisted.
+		ft.Crash()
+		ft.SetSyncLie(false)
+		p2, rec, oerr := open()
+		if oerr != nil {
+			return rr, fmt.Errorf("node-kill: recovery after job %d: %w", id, oerr)
+		}
+		p = p2
+		binary.LittleEndian.PutUint64(buf[:], rec.State.LSN)
+		digest.Write(buf[:])
+
+		// Durability contract: every acked grant still pending at the
+		// recovered clock must be in the committed set.
+		have := make(map[int]bool, len(p.Grants()))
+		for _, gr := range p.Grants() {
+			have[gr.JobID] = true
+		}
+		var lost []int
+		for jid, fin := range acked {
+			if fin <= p.Now() {
+				delete(acked, jid) // legitimately elapsed
+				continue
+			}
+			if !have[jid] {
+				lost = append(lost, jid)
+			}
+		}
+		if len(lost) > 0 {
+			sort.Ints(lost)
+			durabilityLoss(&rr, seed, now, fmt.Sprintf(
+				"kill after job %d: %d acked grants missing after replay (first %d, recovered lsn %d, torn=%t)",
+				id, len(lost), lost[0], rec.State.LSN, rec.Torn))
+			for _, jid := range lost {
+				delete(acked, jid) // count each loss once
+			}
+		}
+	}
+	rr.Digest = digest.Sum64()
+	return rr, nil
+}
+
+// durabilityLoss records a lost-committed-grant breach with a synthetic
+// flight snapshot, so the artifact replays to the durability fault.
+func durabilityLoss(rr *RunReport, seed int64, now float64, detail string) {
+	rec := slo.NewRecorder(64, 64)
+	snap := rec.Trigger(slo.TriggerDurabilityLoss, 0, now, detail)
+	b := Breach{
+		Scenario:  rr.Scenario,
+		Plane:     rr.Plane,
+		Invariant: "no-lost-committed-grant",
+		Detail:    detail,
+		Fault:     slo.Replay(snap).Fault,
+	}
+	b.Artifact = &Artifact{
+		Version:   artifactVersion,
+		Scenario:  rr.Scenario,
+		Plane:     string(rr.Plane),
+		Seed:      seed,
+		Invariant: b.Invariant,
+		Detail:    detail,
+		Fault:     b.Fault,
+		Snapshot:  snap,
+	}
+	rr.Breaches = append(rr.Breaches, b)
+}

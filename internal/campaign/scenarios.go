@@ -104,6 +104,16 @@ func Matrix() []Scenario {
 			Run:    workerFaultRun,
 		},
 		{
+			Name:   "node-kill",
+			Doc:    "SIGKILL-equivalent crashes mid-storm; the durable plane must recover every acked grant",
+			Planes: []Plane{PlaneDurable},
+			Job:    campaignJob,
+			Arrivals: func(seed int64) workload.Arrivals {
+				return workload.NewBursty(1.2, 35, 10, seed)
+			},
+			Run: nodeKillRun,
+		},
+		{
 			Name:   "rebalance-storm",
 			Doc:    "bursty load drives aggressive migration; capacity must be conserved",
 			Planes: []Plane{PlaneSharded},

@@ -1,0 +1,21 @@
+package proftest
+
+import (
+	"fmt"
+
+	"milan/internal/core"
+)
+
+// CompareProfiles is the harness's state oracle as an exported predicate:
+// both profiles must satisfy their structural invariants and agree exactly
+// on every piece of observable state (segment count, final breakpoint and
+// the full rendered segment list — float64s compared by their printed
+// bits).  The durable admission plane's crash-recovery differential uses it
+// to assert a recovered profile is indistinguishable from the never-crashed
+// reference.
+func CompareProfiles(got, want *core.Profile) error {
+	if desc := compareState(got, want); desc != "" {
+		return fmt.Errorf("proftest: profiles diverge: %s", desc)
+	}
+	return nil
+}

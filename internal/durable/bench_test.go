@@ -1,0 +1,88 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"milan/internal/core"
+)
+
+// benchLog builds a committed event log of n records (alternating observe
+// and admit, the recovery-dominant mix) plus the genesis state it applies
+// to.  The log is deterministic so ns/op and allocs/op are comparable
+// across runs.
+func benchLog(n int) (State, []Record) {
+	gen, err := Genesis(16, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	recs := make([]Record, 0, n)
+	now := 0.0
+	lsn := uint64(0)
+	for i := 0; len(recs) < n; i++ {
+		now += 0.25
+		lsn++
+		recs = append(recs, Record{Kind: KindObserve, LSN: lsn, Now: now})
+		if len(recs) == n {
+			break
+		}
+		lsn++
+		start := now
+		recs = append(recs, Record{
+			Kind: KindAdmit, LSN: lsn, Shard: i % 2, JobID: i + 1,
+			Chain: i % 3, Quality: 0.5 + float64(i%4)*0.125,
+			Tunable: i%2 == 0, Tenant: "bench", Class: i % 3,
+			// Each shard sees one admit per 1.0 time units and each job
+			// spans 0.8, so the synthetic log never over-reserves.
+			Tasks: []core.TaskPlacement{
+				{Task: 0, Procs: 1 + i%2, Start: start, Finish: start + 0.4},
+				{Task: 1, Procs: 1, Start: start + 0.4, Finish: start + 0.8},
+			},
+		})
+	}
+	return gen, recs
+}
+
+// BenchmarkReplay measures log replay — the recovery hot path — at 1k,
+// 10k and 100k committed records.  Replay cost bounds restart downtime,
+// so this is the number the snapshot cadence trades against.
+func BenchmarkReplay(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			gen, recs := benchLog(n)
+			// One untimed warmup so lazy one-time allocations don't smear
+			// a +-1 jitter into allocs/op at low iteration counts.
+			if _, err := replayState(gen, recs, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := replayState(gen, recs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.LSN != recs[len(recs)-1].LSN {
+					b.Fatalf("replay stopped at lsn %d", st.LSN)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotEncode measures snapshot serialization, the other half
+// of the recovery cost model (write amplification per compaction).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	gen, recs := benchLog(10_000)
+	st, err := replayState(gen, recs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf := EncodeSnapshot(&st); len(buf) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

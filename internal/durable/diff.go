@@ -1,0 +1,133 @@
+package durable
+
+import (
+	"fmt"
+	"math"
+
+	"milan/internal/core"
+)
+
+// DiffStates compares two plane states over the durable contract and
+// returns a description of the first divergence, or nil.  Durable state
+// is: the clock, every shard's capacity profile (bitwise — raw float64
+// bits, not tolerance), the replay-reconstructed admission counters
+// (Admitted, Rejected, ReservedArea, QualitySum, TunableChosen — merged
+// across shards, since rejection shard attribution is diagnostics), and
+// the live grant set.  The planner's work counters (ChainsTried,
+// HolesProbed, PlanFailures) are snapshot-carried diagnostics and are
+// deliberately not compared.
+func DiffStates(got, want *State) error {
+	if fb(got.Now) != fb(want.Now) {
+		return fmt.Errorf("now: got %v want %v", got.Now, want.Now)
+	}
+	if len(got.Shards) != len(want.Shards) {
+		return fmt.Errorf("shard count: got %d want %d", len(got.Shards), len(want.Shards))
+	}
+	for i := range got.Shards {
+		if err := diffProfile(got.Shards[i].Profile, want.Shards[i].Profile); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	gs, ws := mergeStats(got.Shards), mergeStats(want.Shards)
+	if gs.Admitted != ws.Admitted {
+		return fmt.Errorf("admitted: got %d want %d", gs.Admitted, ws.Admitted)
+	}
+	if gs.Rejected != ws.Rejected {
+		return fmt.Errorf("rejected: got %d want %d", gs.Rejected, ws.Rejected)
+	}
+	if fb(gs.ReservedArea) != fb(ws.ReservedArea) {
+		return fmt.Errorf("reserved area: got %v want %v", gs.ReservedArea, ws.ReservedArea)
+	}
+	if fb(gs.QualitySum) != fb(ws.QualitySum) {
+		return fmt.Errorf("quality sum: got %v want %v", gs.QualitySum, ws.QualitySum)
+	}
+	if err := diffTunable(gs.TunableChosen, ws.TunableChosen); err != nil {
+		return err
+	}
+	return diffGrants(got.Grants, want.Grants)
+}
+
+func fb(f float64) uint64 { return math.Float64bits(f) }
+
+func diffProfile(got, want core.ProfileState) error {
+	if got.Capacity != want.Capacity {
+		return fmt.Errorf("capacity: got %d want %d", got.Capacity, want.Capacity)
+	}
+	if fb(got.TrimmedBusy) != fb(want.TrimmedBusy) {
+		return fmt.Errorf("trimmed busy: got %v want %v", got.TrimmedBusy, want.TrimmedBusy)
+	}
+	if len(got.Times) != len(want.Times) {
+		return fmt.Errorf("segment count: got %d want %d", len(got.Times), len(want.Times))
+	}
+	for i := range got.Times {
+		if fb(got.Times[i]) != fb(want.Times[i]) {
+			return fmt.Errorf("segment %d time: got %v want %v", i, got.Times[i], want.Times[i])
+		}
+		if got.Used[i] != want.Used[i] {
+			return fmt.Errorf("segment %d used: got %d want %d", i, got.Used[i], want.Used[i])
+		}
+	}
+	return nil
+}
+
+func mergeStats(shards []core.SchedulerState) core.Stats {
+	var out core.Stats
+	for _, sh := range shards {
+		out.Admitted += sh.Stats.Admitted
+		out.Rejected += sh.Stats.Rejected
+		out.ReservedArea += sh.Stats.ReservedArea
+		out.QualitySum += sh.Stats.QualitySum
+		for ci, n := range sh.Stats.TunableChosen {
+			for len(out.TunableChosen) <= ci {
+				out.TunableChosen = append(out.TunableChosen, 0)
+			}
+			out.TunableChosen[ci] += n
+		}
+	}
+	return out
+}
+
+func diffTunable(got, want []int) error {
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	at := func(s []int, i int) int {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(got, i) != at(want, i) {
+			return fmt.Errorf("tunable chosen chain %d: got %d want %d", i, at(got, i), at(want, i))
+		}
+	}
+	return nil
+}
+
+func diffGrants(got, want []GrantRecord) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("grant count: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.JobID != w.JobID || g.Shard != w.Shard || g.Chain != w.Chain {
+			return fmt.Errorf("grant %d: got job=%d shard=%d chain=%d want job=%d shard=%d chain=%d",
+				i, g.JobID, g.Shard, g.Chain, w.JobID, w.Shard, w.Chain)
+		}
+		if fb(g.Quality) != fb(w.Quality) {
+			return fmt.Errorf("grant job %d quality: got %v want %v", g.JobID, g.Quality, w.Quality)
+		}
+		if len(g.Tasks) != len(w.Tasks) {
+			return fmt.Errorf("grant job %d task count: got %d want %d", g.JobID, len(g.Tasks), len(w.Tasks))
+		}
+		for t := range g.Tasks {
+			gt, wt := g.Tasks[t], w.Tasks[t]
+			if gt.Task != wt.Task || gt.Procs != wt.Procs || fb(gt.Start) != fb(wt.Start) || fb(gt.Finish) != fb(wt.Finish) {
+				return fmt.Errorf("grant job %d task %d: got %+v want %+v", g.JobID, t, gt, wt)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package durable
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"milan/internal/durable/vfs"
+)
+
+func openMem(t *testing.T, fs vfs.FS, opts StoreOptions) (*Store, Recovered) {
+	t.Helper()
+	gen, err := Genesis(8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, rec, err := Open(OpenConfig{FS: fs, Dir: "log", Genesis: gen, Store: opts})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return s, rec
+}
+
+func appendObserve(t *testing.T, s *Store, now float64) uint64 {
+	t.Helper()
+	lsn, err := s.Append(&Record{Kind: KindObserve, Now: now})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	return lsn
+}
+
+func TestStoreOpenGenesisAndReopen(t *testing.T) {
+	mem := vfs.NewMem()
+	s, rec := openMem(t, mem, StoreOptions{})
+	if rec.Records != 0 || rec.Torn || rec.SnapshotLSN != 0 {
+		t.Fatalf("genesis recovery = %+v", rec)
+	}
+	if got := rec.State.Procs(); got != 8 {
+		t.Fatalf("genesis procs = %d", got)
+	}
+	for i := 1; i <= 5; i++ {
+		if lsn := appendObserve(t, s, float64(i)); lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if s.DurableLSN() != 5 {
+		t.Fatalf("durable lsn = %d", s.DurableLSN())
+	}
+	s.Close()
+
+	// Clean reopen (no crash): all five records replay.
+	s2, rec2 := openMem(t, mem, StoreOptions{})
+	if rec2.Records != 5 || rec2.Torn {
+		t.Fatalf("reopen recovery = %+v", rec2)
+	}
+	if rec2.State.LSN != 5 || rec2.State.Now != 5 {
+		t.Fatalf("recovered state lsn=%d now=%v", rec2.State.LSN, rec2.State.Now)
+	}
+	if s2.NextLSN() != 6 {
+		t.Fatalf("next lsn = %d", s2.NextLSN())
+	}
+	s2.Close()
+}
+
+func TestStoreCrashKeepsSyncedPrefix(t *testing.T) {
+	mem := vfs.NewMem()
+	s, _ := openMem(t, mem, StoreOptions{Sync: SyncAlways})
+	for i := 1; i <= 3; i++ {
+		appendObserve(t, s, float64(i))
+	}
+	mem.Crash() // no Close: simulated power failure
+
+	_, rec := openMem(t, mem, StoreOptions{})
+	if rec.State.LSN != 3 || rec.Records != 3 {
+		t.Fatalf("SyncAlways crash lost records: %+v", rec)
+	}
+}
+
+func TestStoreCrashDropsUnsyncedTail(t *testing.T) {
+	mem := vfs.NewMem()
+	s, _ := openMem(t, mem, StoreOptions{Sync: SyncEveryN, SyncEvery: 2})
+	for i := 1; i <= 5; i++ {
+		appendObserve(t, s, float64(i))
+	}
+	// Records 1-4 synced (two batches of 2); record 5 volatile.
+	if s.DurableLSN() != 4 {
+		t.Fatalf("durable lsn = %d, want 4", s.DurableLSN())
+	}
+	mem.Crash()
+
+	_, rec := openMem(t, mem, StoreOptions{})
+	if rec.State.LSN != 4 {
+		t.Fatalf("recovered lsn = %d, want synced prefix 4", rec.State.LSN)
+	}
+}
+
+func TestStoreSnapshotCompaction(t *testing.T) {
+	mem := vfs.NewMem()
+	s, _ := openMem(t, mem, StoreOptions{SnapshotEvery: 3})
+	st := s.mustState(t)
+	for i := 1; i <= 3; i++ {
+		appendObserve(t, s, float64(i))
+	}
+	if !s.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot = false after SnapshotEvery records")
+	}
+	st.LSN, st.Now = 3, 3
+	if err := s.WriteSnapshot(&st); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := mem.ReadDir("log")
+	if len(names) != 2 {
+		t.Fatalf("after compaction dir = %v, want exactly snapshot+segment", names)
+	}
+
+	// Crash after compaction: recovery starts from the snapshot.
+	appendObserve(t, s, 4)
+	mem.Crash()
+	_, rec := openMem(t, mem, StoreOptions{})
+	if rec.SnapshotLSN != 3 || rec.Records != 1 || rec.State.LSN != 4 {
+		t.Fatalf("post-compaction recovery = %+v", rec)
+	}
+}
+
+// mustState is a test helper building a snapshotable state matching the
+// store's genesis shape.
+func (s *Store) mustState(t *testing.T) State {
+	t.Helper()
+	st, err := Genesis(8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreWriteErrorPoisons(t *testing.T) {
+	boom := errors.New("disk on fire")
+	mem := vfs.NewMem()
+	ft := vfs.NewFault(mem)
+	s, _ := openMem(t, ft, StoreOptions{})
+	appendObserve(t, s, 1)
+
+	ft.SetWriteError(boom, 0)
+	if _, err := s.Append(&Record{Kind: KindObserve, Now: 2}); !errors.Is(err, boom) {
+		t.Fatalf("append under write fault: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after failed append")
+	}
+	ft.SetWriteError(nil, 0)
+	if _, err := s.Append(&Record{Kind: KindObserve, Now: 3}); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned store accepted an append: %v", err)
+	}
+
+	// Reopen recovers the pre-fault prefix and serves again.
+	s2, rec := openMem(t, ft, StoreOptions{})
+	if rec.State.LSN != 1 {
+		t.Fatalf("recovered lsn = %d, want 1", rec.State.LSN)
+	}
+	appendObserve(t, s2, 2)
+}
+
+func TestStoreSyncErrorPoisons(t *testing.T) {
+	boom := errors.New("fsync failed")
+	ft := vfs.NewFault(vfs.NewMem())
+	s, _ := openMem(t, ft, StoreOptions{})
+	ft.SetSyncError(boom, 0)
+	if _, err := s.Append(&Record{Kind: KindObserve, Now: 1}); !errors.Is(err, boom) {
+		t.Fatalf("append under sync fault: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after failed sync")
+	}
+}
+
+func TestStoreBitFlipStopsReplay(t *testing.T) {
+	mem := vfs.NewMem()
+	s, _ := openMem(t, mem, StoreOptions{})
+	for i := 1; i <= 4; i++ {
+		appendObserve(t, s, float64(i))
+	}
+	s.Close()
+
+	// Flip a bit in the third record's payload region.  The durable view
+	// is what recovery reads after a crash, so corrupt both views.
+	names, _ := mem.ReadDir("log")
+	var seg string
+	for _, n := range names {
+		if strings.HasPrefix(n, "wal-") {
+			seg = "log/" + n
+		}
+	}
+	f, err := mem.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]byte, 4096)
+	n, _ := f.ReadAt(all, 0)
+	all = all[:n]
+	// Header 20 bytes; each observe frame is 8 + (1+8+8) = 25 bytes.
+	all[20+2*25+10] ^= 0x40
+	nf, _ := mem.Create(seg)
+	nf.Write(all)
+	nf.Sync()
+	mem.SyncDir("log")
+	mem.Crash()
+
+	_, rec := openMem(t, mem, StoreOptions{})
+	if !rec.Torn {
+		t.Fatal("corrupt record did not mark the tail torn")
+	}
+	if rec.State.LSN != 2 {
+		t.Fatalf("recovered lsn = %d, want clean prefix 2", rec.State.LSN)
+	}
+}
+
+func TestStoreTornTailAfterLyingSync(t *testing.T) {
+	ft := vfs.NewFault(vfs.NewMem())
+	s, _ := openMem(t, ft, StoreOptions{})
+	appendObserve(t, s, 1)
+	ft.SetSyncLie(true)
+	appendObserve(t, s, 2) // acked, but the sync was a lie
+	appendObserve(t, s, 3)
+	if s.DurableLSN() != 3 {
+		t.Fatalf("store believes lsn %d durable", s.DurableLSN())
+	}
+	ft.Crash()
+
+	// The lie is exposed: only the honestly synced prefix survives.
+	_, rec := openMem(t, ft, StoreOptions{})
+	if rec.State.LSN != 1 {
+		t.Fatalf("recovered lsn = %d, want 1 (records 2-3 were lied about)", rec.State.LSN)
+	}
+}

@@ -86,6 +86,12 @@ type Config struct {
 	// (*forensics.Forecaster).Advertise, which publishes the headroom_*
 	// gauges and audits rejections against the advertised frontier.
 	HeadroomSink func(core.Headroom)
+	// OnShardResize, if set, is called under the shard lock after every
+	// successful shard resize (rebalancer migrations, operator actions)
+	// with the shard id and its new processor count, in the shard's
+	// commit order.  The durable admission plane journals capacity moves
+	// through it; the callback must not call back into the plane.
+	OnShardResize func(shard, procs int)
 	// Ledger, if set, attaches per-tenant utilization accounting: every
 	// committed reservation is recorded on the committing shard's ledger
 	// under the shard lock, in commit order (so per-shard ledger totals
@@ -231,6 +237,7 @@ func New(cfg Config) (*Arbitrator, error) {
 			opts = &o
 		}
 		sh := newShard(i, procs, cfg.Origin, opts, cfg.Horizon, cfg.HeadroomHorizon)
+		sh.resizeHook = cfg.OnShardResize
 		if cfg.Ledger != nil {
 			sh.led = cfg.Ledger.Shard(i)
 			sh.led.SetCapacity(procs, cfg.Origin)

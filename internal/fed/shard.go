@@ -49,6 +49,10 @@ type Shard struct {
 	headroomHorizon float64
 	headroomPtr     atomic.Pointer[core.Headroom]
 
+	// resizeHook, if non-nil, fires under sh.mu after every successful
+	// resize with the shard id and new processor count (Config.OnShardResize).
+	resizeHook func(shard, procs int)
+
 	// led, if non-nil, is this shard's utilization ledger: commits are
 	// recorded under sh.mu immediately after the scheduler commit, so
 	// the ledger's running total performs the same float additions in
@@ -315,6 +319,9 @@ func (sh *Shard) resize(procs int) error {
 	sh.refreshLoadLocked()
 	if sh.led != nil {
 		sh.led.SetCapacity(procs, sh.now)
+	}
+	if sh.resizeHook != nil {
+		sh.resizeHook(sh.id, procs)
 	}
 	return nil
 }

@@ -41,6 +41,12 @@ const (
 	// a task's writes never reached the store despite the crash budget
 	// (runtime fault by construction).
 	TriggerMaskingLoss TriggerKind = "masking-loss"
+	// TriggerDurabilityLoss: crash recovery came back missing state the
+	// plane had acknowledged as committed — a grant acked to a client did
+	// not survive replay, or the recovered profile diverged from the
+	// never-crashed reference.  This convicts the durability layer (WAL
+	// sync policy, snapshot protocol, or a lying disk).
+	TriggerDurabilityLoss TriggerKind = "durability-loss"
 	// TriggerManual: an operator-requested snapshot.
 	TriggerManual TriggerKind = "manual"
 )

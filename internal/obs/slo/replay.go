@@ -37,6 +37,7 @@ const (
 	FaultRebalancer = "rebalancer"
 	FaultRuntime    = "runtime"
 	FaultShedder    = "shedder"
+	FaultDurability = "durability"
 	FaultUnknown    = "unknown"
 )
 
@@ -118,6 +119,10 @@ func Replay(s *Snapshot) Verdict {
 	case TriggerMaskingLoss:
 		v.Fault = FaultRuntime
 		v.Reason = "fault-masking runtime lost committed work"
+		return v
+	case TriggerDurabilityLoss:
+		v.Fault = FaultDurability
+		v.Reason = "crash recovery lost acknowledged admission state"
 		return v
 	}
 

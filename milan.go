@@ -30,6 +30,8 @@ import (
 	"io"
 
 	"milan/internal/core"
+	"milan/internal/durable"
+	"milan/internal/durable/vfs"
 	"milan/internal/fed"
 	"milan/internal/obs"
 	"milan/internal/obs/forensics"
@@ -429,6 +431,71 @@ type (
 // ErrShed is the rejection returned for load-shed jobs; it wraps
 // ErrRejected, so existing callers observe a normal rejection.
 var ErrShed = qos.ErrShed
+
+// Durable admission plane: write-ahead log + snapshots + replay-on-open
+// crash recovery (internal/durable, internal/durable/vfs).
+type (
+	// DurablePlane is a sharded admission plane whose every admission
+	// decision is committed to a write-ahead log before it is
+	// acknowledged; reopening the log recovers the plane bit-exactly.
+	DurablePlane = durable.Plane
+	// DurableConfig configures OpenDurablePlane.
+	DurableConfig = durable.Config
+	// DurableStoreOptions selects the log's sync policy and snapshot
+	// cadence.
+	DurableStoreOptions = durable.StoreOptions
+	// DurableSyncPolicy is when the log fsyncs (always, every-n, never).
+	DurableSyncPolicy = durable.SyncPolicy
+	// DurableRecovered reports what replay-on-open reconstructed.
+	DurableRecovered = durable.Recovered
+	// DurableState is the plane's committed state: the capacity profile,
+	// live grants and the recovery clock.
+	DurableState = durable.State
+	// DurableMetrics are the durability layer's obs instruments.
+	DurableMetrics = durable.Metrics
+	// VFS is the durability layer's filesystem seam.
+	VFS = vfs.FS
+	// MemFS is the deterministic in-memory filesystem with an explicit
+	// crash/durability model, for tests and crash loops.
+	MemFS = vfs.Mem
+	// FaultFS wraps any VFS with failing- and lying-disk injection.
+	FaultFS = vfs.Fault
+)
+
+// Log sync policies for DurableStoreOptions.Sync.
+const (
+	DurableSyncAlways = durable.SyncAlways
+	DurableSyncEveryN = durable.SyncEveryN
+	DurableSyncNever  = durable.SyncNever
+)
+
+// OpenDurablePlane opens (or creates) a durable admission plane backed by
+// a write-ahead log under cfg.Dir, replaying any existing log first.
+func OpenDurablePlane(cfg DurableConfig) (*DurablePlane, DurableRecovered, error) {
+	return durable.OpenPlane(cfg)
+}
+
+// ParseDurableSyncPolicy parses "always", "every-n" or "never".
+func ParseDurableSyncPolicy(s string) (DurableSyncPolicy, error) {
+	return durable.ParseSyncPolicy(s)
+}
+
+// DiffDurableStates reports the first field where two recovered states
+// diverge (nil = bitwise-identical); the crash-loop oracle's comparator.
+func DiffDurableStates(got, want *DurableState) error {
+	return durable.DiffStates(got, want)
+}
+
+// NewDurableMetrics resolves the durability instruments in a registry,
+// for DurableConfig.Metrics.
+func NewDurableMetrics(reg *Registry) *DurableMetrics { return durable.NewMetrics(reg) }
+
+// NewMemFS returns an empty in-memory filesystem (nothing durable yet).
+func NewMemFS() *MemFS { return vfs.NewMem() }
+
+// NewFaultFS wraps a filesystem with fault injection (write/sync error
+// countdowns, fsync/rename lies, crash simulation).
+func NewFaultFS(inner VFS) *FaultFS { return vfs.NewFault(inner) }
 
 // NewShedder wraps a negotiator (monolithic or federated arbitrator)
 // with quota/weighted-fair admission shedding.
