@@ -2,8 +2,10 @@
 // contract end to end.
 //
 // In -mode vfs (the default) it drives a seed-deterministic admission
-// storm against a durable.Plane on the fault-injecting in-memory
-// filesystem and crashes it mid-storm, cycling through fault phases:
+// storm — interleaved with single-processor capacity grows on sharded
+// planes, so KindCapacity records sit between decisions — against a
+// durable.Plane on the fault-injecting in-memory filesystem and
+// crashes it mid-storm, cycling through fault phases:
 //
 //	sync-always    honest disk, fsync per record: a crash may lose nothing
 //	unsynced-loss  group commit (sync every 4): the unsynced tail may die
@@ -54,17 +56,25 @@ func main() {
 }
 
 // op is one unit of driven work.  Every op appends exactly one WAL
-// record (observe -> KindObserve, negotiate -> KindAdmit or KindReject),
-// so op index i commits as LSN i+1 and a recovered LSN m means ops[0:m]
-// are the committed prefix.
+// record (observe -> KindObserve, negotiate -> KindAdmit or KindReject,
+// grow -> KindCapacity), so op index i commits as LSN i+1 and a
+// recovered LSN m means ops[0:m] are the committed prefix.  Capacity
+// ops are grow-only: a single-processor grow is exactly one shard
+// resize (one record) and can never fail, which keeps the mapping 1:1;
+// shrinks may stop early on committed reservations and are exercised
+// in the durable package's own tests instead.
 type op struct {
 	observe bool
+	grow    bool
 	now     float64
 	job     core.Job
 }
 
-// genOps builds the deterministic op stream for a seed.
-func genOps(n int, seed int64) []op {
+// genOps builds the deterministic op stream for a seed.  Capacity ops
+// ride the federated rebalancer, so they are only emitted on sharded
+// (shards > 1) planes; the stream is a pure function of (n, seed,
+// shards).
+func genOps(n int, seed int64, shards int) []op {
 	tmpl := workload.FigureJob{X: 4, T: 25, Alpha: 0.25, Laxity: 0.5}
 	arr := workload.NewPoisson(6, seed)
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
@@ -74,12 +84,28 @@ func genOps(n int, seed int64) []op {
 	for len(ops) < n {
 		now += arr.Next()
 		ops = append(ops, op{observe: true, now: now})
+		if shards > 1 && len(ops) < n && rng.Intn(12) == 0 {
+			ops = append(ops, op{grow: true, now: now})
+		}
 		for k := rng.Intn(2); k >= 0 && len(ops) < n; k-- {
 			ops = append(ops, op{now: now, job: tmpl.Job(id, now, workload.Tunable)})
 			id++
 		}
 	}
 	return ops
+}
+
+// growsIn counts capacity ops in the committed prefix ops[0:m]: the
+// recovered plane's total capacity must be the seed capacity plus
+// exactly this count.
+func growsIn(ops []op, m int) int {
+	n := 0
+	for _, o := range ops[:m] {
+		if o.grow {
+			n++
+		}
+	}
+	return n
 }
 
 type planeCfg struct {
@@ -103,6 +129,15 @@ func driveOps(p *durable.Plane, ops []op, from, until int, onAck func(id int, fi
 		o := ops[i]
 		if o.observe {
 			p.Observe(o.now)
+			if err := p.Err(); err != nil {
+				return i, err
+			}
+			continue
+		}
+		if o.grow {
+			if _, err := p.SetTotalCapacity(p.Fed().Procs() + 1); err != nil {
+				return i, err
+			}
 			if err := p.Err(); err != nil {
 				return i, err
 			}
@@ -221,7 +256,7 @@ func phases() []phase {
 func runVFS(seed int64, iters, opsPerIter, shards int, artifact string, stdout, stderr io.Writer) int {
 	ph := phases()
 	total := iters*opsPerIter + opsPerIter
-	ops := genOps(total, seed)
+	ops := genOps(total, seed, shards)
 	cfgFor := func(p phase) planeCfg {
 		return planeCfg{procs: 16, shards: shards, store: p.store}
 	}
@@ -301,6 +336,17 @@ func runVFS(seed int64, iters, opsPerIter, shards int, artifact string, stdout, 
 					"recovered state diverged from reference: %v", err)
 			}
 
+			// Capacity oracle: the recovered pool must be the seed
+			// capacity plus exactly the committed grow ops — a capacity
+			// record lost or double-applied in replay shifts the total.
+			if cfg.shards > 1 {
+				wantProcs := cfg.procs + growsIn(ops, m)
+				if gotProcs := plane.Fed().Procs(); gotProcs != wantProcs {
+					return fail(divergence{Phase: p.name, Iteration: iter, CrashOp: reached, Recovered: rec.State.LSN, Torn: rec.Torn},
+						"recovered capacity %d procs, committed prefix implies %d", gotProcs, wantProcs)
+				}
+			}
+
 			// Grant-loss accounting: acked, still pending, absent.
 			have := make(map[int]bool)
 			for _, g := range plane.Grants() {
@@ -359,7 +405,7 @@ func runChild(dir string, seed int64, shards int, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
 		return 2
 	}
-	ops := genOps(4096, seed)
+	ops := genOps(4096, seed, shards)
 	next := int(rec.State.LSN)
 	w := bufio.NewWriter(stdout)
 	_, err = driveOps(plane, ops, next, len(ops), func(id int, fin float64) {
@@ -396,7 +442,7 @@ func runSigkill(seed int64, kills, shards int, dir, artifact string, stdout, std
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0x51ead))
 	acked := make(map[int]bool)
-	ops := genOps(4096, seed)
+	ops := genOps(4096, seed, shards)
 
 	fail := func(iter int, format string, args ...any) int {
 		d := divergence{Mode: "sigkill", Seed: seed, Iteration: iter, Detail: fmt.Sprintf(format, args...)}
@@ -452,7 +498,7 @@ func runSigkill(seed int64, kills, shards int, dir, artifact string, stdout, std
 		}
 		finishOf := make(map[int]float64)
 		for _, o := range ops {
-			if !o.observe {
+			if !o.observe && !o.grow {
 				finishOf[o.job.ID] = o.now // release; conservative lower bound
 			}
 		}
@@ -478,6 +524,12 @@ func runSigkill(seed int64, kills, shards int, dir, artifact string, stdout, std
 		got := plane.ExportState()
 		if err := durable.DiffStates(&got, &want); err != nil {
 			return fail(k, "recovered state diverged from reference at lsn %d: %v", m, err)
+		}
+		if shards > 1 {
+			wantProcs := 16 + growsIn(ops, m)
+			if gotProcs := plane.Fed().Procs(); gotProcs != wantProcs {
+				return fail(k, "recovered capacity %d procs, committed prefix implies %d (lsn %d)", gotProcs, wantProcs, m)
+			}
 		}
 		if err := plane.Close(); err != nil {
 			return fail(k, "close: %v", err)

@@ -33,11 +33,18 @@ func TestUnknownModeRejected(t *testing.T) {
 // exactly one WAL record — the property the differential oracle's
 // "recovered LSN m = committed op prefix m" equation rests on.
 func TestOpsAreDeterministicAndOneToOneWithRecords(t *testing.T) {
-	a, b := genOps(300, 5), genOps(300, 5)
+	a, b := genOps(300, 5, 2), genOps(300, 5, 2)
+	grows := 0
 	for i := range a {
-		if a[i].observe != b[i].observe || a[i].now != b[i].now || a[i].job.ID != b[i].job.ID {
+		if a[i].observe != b[i].observe || a[i].grow != b[i].grow || a[i].now != b[i].now || a[i].job.ID != b[i].job.ID {
 			t.Fatalf("op %d drifted between generations", i)
 		}
+		if a[i].grow {
+			grows++
+		}
+	}
+	if grows == 0 {
+		t.Fatal("sharded op stream emitted no capacity grows; KindCapacity recovery is untested")
 	}
 
 	cfg := planeCfg{procs: 16, shards: 2}
@@ -56,7 +63,7 @@ func TestOpsAreDeterministicAndOneToOneWithRecords(t *testing.T) {
 // The oracle itself must fire: corrupt a recovered state and DiffStates
 // has to reject it (guards against a vacuous differential).
 func TestOracleDetectsTampering(t *testing.T) {
-	ops := genOps(120, 9)
+	ops := genOps(120, 9, 2)
 	cfg := planeCfg{procs: 16, shards: 2}
 	want, err := referenceState(ops, len(ops), cfg)
 	if err != nil {

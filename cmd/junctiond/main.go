@@ -24,9 +24,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"milan/internal/calypso"
 	"milan/internal/core"
@@ -35,6 +38,9 @@ import (
 	"milan/internal/junction"
 	"milan/internal/obs"
 	"milan/internal/obs/ledger"
+	"milan/internal/obs/slo"
+	"milan/internal/obs/telemetry"
+	"milan/internal/qos"
 	"milan/internal/qos/qosnet"
 )
 
@@ -58,15 +64,24 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions (requires -wal-dir)")
 	admitProcs := flag.Int("admit-procs", 0, "admission-plane processors (0 = -workers)")
 	admitShards := flag.Int("admit-shards", 1, "admission-plane shards")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the streaming telemetry exporter on this address")
+	telemetryInterval := flag.Duration("telemetry-interval", time.Second, "telemetry delta cadence (requires -telemetry-addr)")
+	nodeName := flag.String("node", "", "node identity on telemetry sessions and span IDs (default junction-<pid>)")
+	traceSample := flag.Float64("trace-sample", 0, "head-based trace sampling target in traces/sec (0 = trace everything)")
+	serveFlag := flag.Bool("serve", false, "keep serving after the demo run until SIGINT/SIGTERM (multi-process clusters)")
 	flag.Parse()
 
 	if *pprofFlag && *debugAddr == "" {
 		log.Fatal("junctiond: -pprof requires -debug-addr (profiles are served on the debug endpoint)")
 	}
+	node := *nodeName
+	if node == "" {
+		node = fmt.Sprintf("junction-%d", os.Getpid())
+	}
 	var observer *obs.Observer
 	var ld *ledger.Ledger
-	if *debugAddr != "" {
-		observer = obs.New(obs.Config{EnablePprof: *pprofFlag})
+	if *debugAddr != "" || *telemetryAddr != "" {
+		observer = obs.New(obs.Config{EnablePprof: *pprofFlag, Tracing: true})
 		// Utilization ledger over the pipeline's work units: each
 		// configuration bills to its own tenant, each pipeline step to its
 		// own class, so /ledger shows the Figure-2 trade (step-1 vs step-3
@@ -86,16 +101,28 @@ func main() {
 			}
 			return nil
 		})
-		addr, srv, err := startDebug(observer, *debugAddr)
-		if err != nil {
-			log.Fatal(err)
+		// Cluster-unique span identity: seed the high ID bits from the
+		// node name so traces from different junctiond processes merge
+		// without collisions in a telemetry aggregator.
+		observer.Tracer().SeedIDs(telemetry.NodeIDBase(node))
+		if *traceSample > 0 {
+			observer.Tracer().SetSampling(*traceSample, observer.Reg)
 		}
-		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt /healthz)\n\n", addr)
+		if *debugAddr != "" {
+			addr, srv, err := startDebug(observer, *debugAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("debug endpoint: http://%s (/metrics /trace /gantt /healthz)\n\n", addr)
+		}
 	}
 
+	if *telemetryAddr != "" && *walDir == "" {
+		log.Fatal("junctiond: -telemetry-addr requires -wal-dir (the exporter streams the admission plane's state)")
+	}
 	if *walDir != "" {
-		srv, plane, err := serveAdmission(observer, admitConfig{
+		srv, plane, eng, err := serveAdmission(observer, admitConfig{
 			dir: *walDir, addr: *admitAddr, sync: *walSync,
 			snapshotEvery: *snapshotEvery,
 			procs:         pickProcs(*admitProcs, *workers),
@@ -106,6 +133,16 @@ func main() {
 		}
 		defer plane.Close()
 		defer srv.Close()
+		if *telemetryAddr != "" {
+			exp, err := serveTelemetry(observer, ld, plane, eng, telemetryConfig{
+				addr: *telemetryAddr, node: node, interval: *telemetryInterval,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer exp.Close()
+			fmt.Printf("telemetry exporter: %s (node %s, cadence %s)\n\n", exp.Addr(), node, *telemetryInterval)
+		}
 	}
 
 	if *video > 0 {
@@ -165,6 +202,13 @@ func main() {
 	fmt.Println("\nFigure 2 reading: the coarse configuration spends several times less in")
 	fmt.Println("the sampling step and compensates with a much larger junction-computation")
 	fmt.Println("allocation, at comparable output quality.")
+
+	if *serveFlag {
+		fmt.Println("\nserving (SIGINT/SIGTERM to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
 
 // recordPipeline accounts one configuration's pipeline run on the
@@ -250,39 +294,104 @@ func pickProcs(admitProcs, workers int) int {
 
 // serveAdmission opens (recovering) the durable admission plane on the
 // real filesystem and serves it over the qosnet wire protocol.  When an
-// observer is attached, the durability instruments land in its registry,
-// so /metrics exposes append latency, fsync counts, snapshot sizes and
-// recovery replay time.
-func serveAdmission(observer *obs.Observer, cfg admitConfig) (*qosnet.Server, *durable.Plane, error) {
+// observer is attached, the durability instruments land in its registry
+// (/metrics exposes append latency, fsync counts, snapshot sizes and
+// recovery replay time), admission requests are traced end to end, and
+// an SLO engine audits every decision via the server's decision hook.
+func serveAdmission(observer *obs.Observer, cfg admitConfig) (*qosnet.Server, *durable.Plane, *slo.Engine, error) {
 	pol, err := durable.ParseSyncPolicy(cfg.sync)
 	if err != nil {
-		return nil, nil, fmt.Errorf("junctiond: %w", err)
+		return nil, nil, nil, fmt.Errorf("junctiond: %w", err)
 	}
 	var fs vfs.OS
 	if err := fs.MkdirAll(cfg.dir); err != nil {
-		return nil, nil, fmt.Errorf("junctiond: wal dir: %w", err)
+		return nil, nil, nil, fmt.Errorf("junctiond: wal dir: %w", err)
 	}
 	var met *durable.Metrics
+	var tracer *obs.Tracer
 	if observer != nil {
 		met = durable.NewMetrics(observer.Reg)
+		tracer = observer.Tracer()
 	}
 	plane, rec, err := durable.OpenPlane(durable.Config{
 		FS: fs, Dir: cfg.dir,
 		Procs: cfg.procs, Shards: cfg.shards, ProbeK: 1,
 		Store:   durable.StoreOptions{Sync: pol, SnapshotEvery: cfg.snapshotEvery},
 		Metrics: met,
+		Tracer:  tracer,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("junctiond: open admission plane: %w", err)
+		return nil, nil, nil, fmt.Errorf("junctiond: open admission plane: %w", err)
 	}
 	srv, err := qosnet.ListenAndServe(plane, cfg.addr)
 	if err != nil {
 		plane.Close()
-		return nil, nil, fmt.Errorf("junctiond: %w", err)
+		return nil, nil, nil, fmt.Errorf("junctiond: %w", err)
+	}
+	var eng *slo.Engine
+	if observer != nil {
+		srv.SetTracer(observer.Tracer())
+		eng = slo.New(slo.Options{Registry: observer.Reg})
+		eng.Mount(observer)
+		start := time.Now()
+		srv.SetDecisionHook(func(j core.Job, g *qos.Grant, err error, latency time.Duration) {
+			now := time.Since(start).Seconds()
+			if err != nil || g == nil {
+				eng.JobRejected(j.ID, j.Trace, now, latency.Seconds())
+				return
+			}
+			deadline := 0.0
+			if g.Chain >= 0 && g.Chain < len(j.Chains) {
+				if tasks := j.Chains[g.Chain].Tasks; len(tasks) > 0 {
+					deadline = tasks[len(tasks)-1].Deadline
+				}
+			}
+			eng.JobAdmitted(j.ID, j.Trace, now, latency.Seconds(), deadline, g.Placement.Finish())
+		})
 	}
 	fmt.Printf("admission plane: %s (wal %s, sync=%s, recovered lsn=%d records=%d grants=%d replay=%s)\n\n",
 		srv.Addr(), cfg.dir, pol, rec.State.LSN, rec.Records, len(plane.Grants()), rec.ReplayDuration)
-	return srv, plane, nil
+	return srv, plane, eng, nil
+}
+
+type telemetryConfig struct {
+	addr, node string
+	interval   time.Duration
+}
+
+// serveTelemetry attaches a streaming telemetry exporter to the
+// admission plane's observability surfaces: registry deltas, completed
+// spans, SLO objective state, the plane's headroom frontier, and the
+// utilization ledger.
+func serveTelemetry(observer *obs.Observer, ld *ledger.Ledger, plane *durable.Plane, eng *slo.Engine, cfg telemetryConfig) (*telemetry.Exporter, error) {
+	const horizon = 1e6 // effectively unbounded frontier window
+	headroom := func() core.Headroom {
+		if f := plane.Fed(); f != nil {
+			return f.Headroom(horizon)
+		}
+		if m := plane.Mono(); m != nil {
+			return m.Headroom(horizon)
+		}
+		return core.Headroom{}
+	}
+	var ledgerFn func() *ledger.Snapshot
+	if ld != nil {
+		ledgerFn = ld.Snapshot
+	}
+	exp := telemetry.NewExporter(telemetry.ExporterConfig{
+		Node:     cfg.node,
+		Interval: cfg.interval,
+	}, telemetry.Sources{
+		Registry: observer.Reg,
+		Tracer:   observer.Tracer(),
+		SLO:      eng,
+		Ledger:   ledgerFn,
+		Headroom: headroom,
+	})
+	if err := exp.ListenAndServe(cfg.addr); err != nil {
+		return nil, err
+	}
+	return exp, nil
 }
 
 // startDebug serves the observer's debug handler on addr, returning the

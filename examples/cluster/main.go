@@ -8,6 +8,11 @@
 // routing, and a rebalancer that follows the broker — registering a new
 // machine mid-run grows the plane without restarting the server.
 //
+// The third act federates the observability plane itself: a telemetry
+// exporter streams the registry over TCP and an aggregator (milanmon's
+// engine) accumulates snapshot-then-delta and renders the node-labeled
+// cluster view.
+//
 //	go run ./examples/cluster
 package main
 
@@ -18,10 +23,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
+	"time"
 
 	"milan"
 	"milan/internal/obs"
+	"milan/internal/obs/telemetry"
 	"milan/internal/qos/qosnet"
 	"milan/internal/resbroker"
 	"milan/internal/workload"
@@ -230,5 +238,61 @@ func federated() error {
 	fmt.Printf("\nplane: %d admitted, %d rejected, chain choices %v\n",
 		st.Admitted, st.Rejected, st.TunableChosen)
 	fmt.Println("\nfed metrics:")
-	return reg.WriteTable(os.Stdout)
+	if err := reg.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	return federatedTelemetry(reg)
+}
+
+// federatedTelemetry is the third act: the plane's registry streams over
+// the telemetry wire protocol (the same exporter junctiond serves behind
+// -telemetry-addr) and an aggregator — milanmon's engine — subscribes,
+// accumulates snapshot-then-delta, and renders the node-labeled cluster
+// view a Prometheus scraper would see.
+func federatedTelemetry(reg *obs.Registry) error {
+	fmt.Println("\n--- telemetry: exporter -> aggregator over TCP ---")
+	exp := telemetry.NewExporter(telemetry.ExporterConfig{
+		Node:     "cluster-demo",
+		Interval: 50 * time.Millisecond,
+	}, telemetry.Sources{Registry: reg})
+	if err := exp.ListenAndServe("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer exp.Close()
+
+	agg := telemetry.NewAggregator(telemetry.AggregatorConfig{Nodes: []string{exp.Addr()}})
+	agg.Start()
+	defer agg.Close()
+
+	// Wait for the aggregated view to converge on the live registry's
+	// admission counters (snapshot + contiguous deltas, nothing lost).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		merged, err := agg.MergedRegistry()
+		if err == nil && merged.Counters["fed_admitted"] == reg.Snapshot().Counters["fed_admitted"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("telemetry view did not converge: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	nodes := agg.Nodes()
+	fmt.Printf("subscribed to %s: session %d, %d frames, %d deltas, %d dropped\n",
+		exp.Addr(), nodes[0].Session, nodes[0].Frames, nodes[0].DeltaSeq,
+		nodes[0].ExporterDroppedFrames)
+	snaps, _ := agg.NodeSnapshots()
+	var sb strings.Builder
+	if err := telemetry.WritePromLabeled(&sb, snaps, reg.Help()); err != nil {
+		return err
+	}
+	fmt.Println("cluster view (node-labeled Prometheus exposition, excerpt):")
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "fed_admitted") || strings.HasPrefix(line, "fed_rejected") ||
+			strings.HasPrefix(line, "# HELP fed_admitted") {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
 }

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"milan/internal/core"
 	"milan/internal/durable/vfs"
 	"milan/internal/fed"
 	"milan/internal/obs"
 	"milan/internal/qos"
+	"milan/internal/resbroker"
 )
 
 // Config configures a durable admission plane.
@@ -161,6 +163,85 @@ func OpenPlane(cfg Config) (*Plane, Recovered, error) {
 // plane's decision order.
 func (p *Plane) onShardResize(shard, procs int) {
 	_, _ = p.store.Append(&Record{Kind: KindCapacity, Shard: shard, Procs: procs})
+}
+
+// errMono is returned by the capacity API on a 1-shard plane: capacity
+// management rides the federated rebalancer, which a monolithic plane
+// does not have.
+var errMono = errors.New("durable: capacity management requires a sharded plane (Shards > 1)")
+
+// SetTotalCapacity resizes the sharded plane toward total processors
+// under the plane lock, journaling one KindCapacity record per
+// single-processor shard resize (the fed rebalancer's unit of work), so
+// recovery reconstructs the exact post-resize shard shapes.  Growth
+// always succeeds; shrink stops early when no shard can give up a
+// processor without preempting a committed reservation, returning the
+// achieved total alongside the shortfall error.
+func (p *Plane) SetTotalCapacity(total int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fed == nil {
+		return 0, errMono
+	}
+	if err := p.store.Poisoned(); err != nil {
+		return p.fed.Procs(), fmt.Errorf("durable: plane poisoned, reopen required: %w", err)
+	}
+	got, err := p.fed.Rebalancer().SetTotalCapacity(total)
+	p.maybeSnapshotLocked()
+	return got, err
+}
+
+// Rebalance runs up to maxMoves processor migrations (len(shards) when
+// maxMoves <= 0) under the plane lock; every move journals its two
+// shard resizes before the plane acknowledges anything else.
+func (p *Plane) Rebalance(maxMoves int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fed == nil {
+		return 0, errMono
+	}
+	if err := p.store.Poisoned(); err != nil {
+		return 0, fmt.Errorf("durable: plane poisoned, reopen required: %w", err)
+	}
+	moved := p.fed.Rebalancer().Rebalance(maxMoves)
+	p.maybeSnapshotLocked()
+	return moved, nil
+}
+
+// AttachBroker makes the durable plane's total capacity follow a
+// resource broker's pool: every machine registration or deregistration
+// resizes the plane to the broker's total (suppressed below threshold
+// processors; 0 follows every change) and runs a rebalancing pass —
+// with every resize journaled, so a crash between broker events
+// recovers the exact capacity the live pool had.  The returned stop
+// function detaches the subscription's effect.
+func (p *Plane) AttachBroker(b *resbroker.Broker, threshold int) (stop func(), err error) {
+	if p.fed == nil {
+		return nil, errMono
+	}
+	var stopped atomic.Bool
+	last := p.fed.Procs()
+	b.Subscribe(func(ev resbroker.Event) {
+		if stopped.Load() {
+			return
+		}
+		if ev.Kind != resbroker.EventRegistered && ev.Kind != resbroker.EventDeregistered {
+			return
+		}
+		procs := b.TotalProcs()
+		if procs < 1 {
+			return
+		}
+		if diff := procs - last; diff < threshold && diff > -threshold {
+			return
+		}
+		last = procs
+		if _, err := p.SetTotalCapacity(procs); err != nil {
+			return // partial shrink or poisoned plane; next event retries
+		}
+		_, _ = p.Rebalance(0)
+	})
+	return func() { stopped.Store(true) }, nil
 }
 
 // Err returns the store's poison error, if any: non-nil means an append

@@ -60,14 +60,18 @@ func TestWriteBenchSLO(t *testing.T) {
 		return float64(r.NsPerOp()), r.AllocsPerOp()
 	}
 	var out struct {
-		GoMaxProcs        int     `json:"gomaxprocs"`
-		Procs             int     `json:"pool_procs"`
-		Shards            int     `json:"shards"`
-		UntracedNsPerOp   float64 `json:"untraced_ns_per_op"`
-		UntracedAllocsOp  int64   `json:"untraced_allocs_per_op"`
-		TracedNsPerOp     float64 `json:"traced_ns_per_op"`
-		TracedAllocsPerOp int64   `json:"traced_allocs_per_op"`
-		TracingOverhead   float64 `json:"tracing_overhead"`
+		GoMaxProcs         int     `json:"gomaxprocs"`
+		Procs              int     `json:"pool_procs"`
+		Shards             int     `json:"shards"`
+		UntracedNsPerOp    float64 `json:"untraced_ns_per_op"`
+		UntracedAllocsOp   int64   `json:"untraced_allocs_per_op"`
+		TracedNsPerOp      float64 `json:"traced_ns_per_op"`
+		TracedAllocsPerOp  int64   `json:"traced_allocs_per_op"`
+		TracingOverhead    float64 `json:"tracing_overhead"`
+		SampledNsPerOp     float64 `json:"sampled_ns_per_op"`
+		SampledAllocsPerOp int64   `json:"sampled_allocs_per_op"`
+		SampledOverhead    float64 `json:"sampled_overhead"`
+		SampleTargetPerSec float64 `json:"sample_target_per_sec"`
 	}
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.Procs = benchProcs
@@ -77,6 +81,15 @@ func TestWriteBenchSLO(t *testing.T) {
 	if out.UntracedNsPerOp > 0 {
 		out.TracingOverhead = out.TracedNsPerOp/out.UntracedNsPerOp - 1
 	}
+	// Head-based sampling at 100 traces/sec: the sampled-out fast path
+	// should land near the untraced baseline.
+	out.SampleTargetPerSec = 100
+	sampled := obs.NewTracer(1 << 14)
+	sampled.SetSampling(out.SampleTargetPerSec, nil)
+	out.SampledNsPerOp, out.SampledAllocsPerOp = run(sampled)
+	if out.UntracedNsPerOp > 0 {
+		out.SampledOverhead = out.SampledNsPerOp/out.UntracedNsPerOp - 1
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +98,7 @@ func TestWriteBenchSLO(t *testing.T) {
 	if err := os.WriteFile("../../BENCH_slo.json", data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("untraced %.0f ns/op, traced %.0f ns/op, overhead %.1f%%",
-		out.UntracedNsPerOp, out.TracedNsPerOp, 100*out.TracingOverhead)
+	t.Logf("untraced %.0f ns/op, traced %.0f ns/op (%.1f%%), sampled@%g/s %.0f ns/op (%.1f%%)",
+		out.UntracedNsPerOp, out.TracedNsPerOp, 100*out.TracingOverhead,
+		out.SampleTargetPerSec, out.SampledNsPerOp, 100*out.SampledOverhead)
 }

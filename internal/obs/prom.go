@@ -120,6 +120,17 @@ func PromEscapeLabel(v string) string {
 	return b.String()
 }
 
+// PromName normalizes a metric name into the Prometheus identifier
+// charset, for callers (e.g. the telemetry aggregator) that render
+// node-labeled series outside WriteProm.
+func PromName(name string) string { return promName(name) }
+
+// PromFloat renders a float sample the way WriteProm does.
+func PromFloat(v float64) string { return promFloat(v) }
+
+// PromEscapeHelp escapes HELP text the way WriteProm does.
+func PromEscapeHelp(v string) string { return promEscapeHelp(v) }
+
 // promEscapeHelp escapes HELP text: only backslash and newline (quotes
 // are legal in help text, unlike label values).
 func promEscapeHelp(v string) string {
@@ -173,6 +184,10 @@ func promFloat(v float64) string {
 	}
 	return fmt.Sprintf("%g", v)
 }
+
+// WantsProm reports whether the request negotiates the Prometheus text
+// exposition (exported for /metrics endpoints outside this package).
+func WantsProm(req *http.Request) bool { return wantsProm(req) }
 
 // wantsProm decides the /metrics representation: an explicit
 // ?format=prom|json query parameter wins; otherwise an Accept header

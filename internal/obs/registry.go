@@ -252,6 +252,11 @@ func (r *Registry) HelpFor(name string) string {
 	return r.help[name]
 }
 
+// Help returns a copy of the registered help strings, keyed by metric
+// name (used by telemetry snapshot frames so an aggregator can render
+// HELP lines for metrics it has never seen locally).
+func (r *Registry) Help() map[string]string { return r.helpSnapshot() }
+
 // helpSnapshot copies the help map for exposition.
 func (r *Registry) helpSnapshot() map[string]string {
 	r.mu.RLock()
@@ -369,6 +374,31 @@ type Snapshot struct {
 	Gauges     map[string]float64      `json:"gauges"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
 	Stats      map[string]StatSnapshot `json:"stats"`
+}
+
+// Clone returns a deep copy of the snapshot (bucket slices included),
+// safe to mutate or Merge into without aliasing the original.
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+		Stats:      make(map[string]StatSnapshot, len(s.Stats)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		h.Buckets = append([]int64(nil), h.Buckets...)
+		out.Histograms[k] = h
+	}
+	for k, v := range s.Stats {
+		out.Stats[k] = v
+	}
+	return out
 }
 
 // Merge folds another snapshot into this one: counters and histogram

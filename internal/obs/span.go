@@ -61,6 +61,7 @@ type SpanRec struct {
 type Tracer struct {
 	traces atomic.Uint64
 	ids    atomic.Uint64
+	smp    atomic.Pointer[sampler]
 
 	mu    sync.Mutex
 	clock func() float64
@@ -115,9 +116,13 @@ func (t *Tracer) now() float64 {
 	return time.Since(t.start).Seconds()
 }
 
-// NewTrace mints a fresh trace ID (never zero).
+// NewTrace mints a fresh trace ID, or 0 — the untraced fast path — when
+// head-based sampling (SetSampling) rejects the request.
 func (t *Tracer) NewTrace() TraceID {
 	if t == nil {
+		return 0
+	}
+	if s := t.smp.Load(); s != nil && !s.admit(t.now()) {
 		return 0
 	}
 	return TraceID(t.traces.Add(1))

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"milan/internal/obs"
+)
+
+// ComputeDelta diffs two registry snapshots: counter and histogram state
+// as exact increments, gauges and stats as changed values.  prev must be
+// an earlier snapshot of the same registry (metrics only appear and
+// counters only grow), which makes the delta loss-free to coalesce: the
+// delta from A to C equals the delta A→B applied then B→C applied, and
+// counter arithmetic is exact int64 addition, so a subscriber's
+// snapshot + Σ deltas matches the live registry bit-for-bit on counters.
+func ComputeDelta(prev, cur obs.Snapshot) Delta {
+	var d Delta
+	for name, v := range cur.Counters {
+		if dv := v - prev.Counters[name]; dv != 0 {
+			if d.Counters == nil {
+				d.Counters = make(map[string]int64)
+			}
+			d.Counters[name] = dv
+		}
+	}
+	for name, v := range cur.Gauges {
+		if pv, ok := prev.Gauges[name]; !ok || pv != v {
+			if d.Gauges == nil {
+				d.Gauges = make(map[string]float64)
+			}
+			d.Gauges[name] = v
+		}
+	}
+	for name, h := range cur.Histograms {
+		p, ok := prev.Histograms[name]
+		if ok && p.Count == h.Count && p.Under == h.Under && p.Over == h.Over && p.Sum == h.Sum {
+			continue
+		}
+		dh := obs.HistSnapshot{
+			Lo: h.Lo, Hi: h.Hi,
+			Buckets: make([]int64, len(h.Buckets)),
+			Under:   h.Under,
+			Over:    h.Over,
+			Count:   h.Count,
+			Sum:     h.Sum,
+		}
+		copy(dh.Buckets, h.Buckets)
+		if ok && p.Lo == h.Lo && p.Hi == h.Hi && len(p.Buckets) == len(h.Buckets) {
+			for i := range dh.Buckets {
+				dh.Buckets[i] -= p.Buckets[i]
+			}
+			dh.Under -= p.Under
+			dh.Over -= p.Over
+			dh.Count -= p.Count
+			dh.Sum -= p.Sum
+		}
+		if d.Hists == nil {
+			d.Hists = make(map[string]obs.HistSnapshot)
+		}
+		d.Hists[name] = dh
+	}
+	for name, st := range cur.Stats {
+		if p, ok := prev.Stats[name]; !ok || p != st {
+			if d.Stats == nil {
+				d.Stats = make(map[string]obs.StatSnapshot)
+			}
+			d.Stats[name] = st
+		}
+	}
+	return d
+}
+
+// ApplyDelta folds a delta into an accumulated snapshot in place:
+// counters and histogram buckets add, gauges and stats replace.
+func ApplyDelta(s *obs.Snapshot, d Delta) error {
+	if len(d.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]int64, len(d.Counters))
+	}
+	for name, dv := range d.Counters {
+		s.Counters[name] += dv
+	}
+	if len(d.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]float64, len(d.Gauges))
+	}
+	for name, v := range d.Gauges {
+		s.Gauges[name] = v
+	}
+	if len(d.Hists) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]obs.HistSnapshot, len(d.Hists))
+	}
+	for name, dh := range d.Hists {
+		mine, ok := s.Histograms[name]
+		if !ok {
+			cp := dh
+			cp.Buckets = append([]int64(nil), dh.Buckets...)
+			s.Histograms[name] = cp
+			continue
+		}
+		if mine.Lo != dh.Lo || mine.Hi != dh.Hi || len(mine.Buckets) != len(dh.Buckets) {
+			return fmt.Errorf("telemetry: delta reshapes histogram %q ([%v,%v)x%d -> [%v,%v)x%d)",
+				name, mine.Lo, mine.Hi, len(mine.Buckets), dh.Lo, dh.Hi, len(dh.Buckets))
+		}
+		mine.Buckets = append([]int64(nil), mine.Buckets...)
+		for i := range mine.Buckets {
+			mine.Buckets[i] += dh.Buckets[i]
+		}
+		mine.Under += dh.Under
+		mine.Over += dh.Over
+		mine.Count += dh.Count
+		mine.Sum += dh.Sum
+		s.Histograms[name] = mine
+	}
+	if len(d.Stats) > 0 && s.Stats == nil {
+		s.Stats = make(map[string]obs.StatSnapshot, len(d.Stats))
+	}
+	for name, st := range d.Stats {
+		s.Stats[name] = st
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"milan/internal/obs"
+)
+
+// mutate applies one random batch of metric activity to the registry.
+func mutate(reg *obs.Registry, rng *rand.Rand) {
+	for i := 0; i < 1+rng.Intn(8); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			reg.Counter(fmt.Sprintf("c%d", rng.Intn(4))).Add(int64(1 + rng.Intn(5)))
+		case 1:
+			reg.Gauge(fmt.Sprintf("g%d", rng.Intn(3))).Set(rng.Float64() * 10)
+		case 2:
+			reg.Histogram(fmt.Sprintf("h%d", rng.Intn(2)), 0, 1, 8).Observe(rng.Float64() * 1.2)
+		case 3:
+			reg.Stat(fmt.Sprintf("s%d", rng.Intn(2))).Observe(rng.NormFloat64())
+		}
+	}
+}
+
+// The exporter's correctness contract: a snapshot plus every delta since,
+// applied in order, reproduces the live registry exactly — including
+// metrics that first appear mid-stream.
+func TestSnapshotPlusDeltasConvergesBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reg := obs.NewRegistry()
+	mutate(reg, rng)
+
+	acc := reg.Snapshot() // the subscriber's accumulated view
+	prev := reg.Snapshot()
+	for step := 0; step < 50; step++ {
+		mutate(reg, rng)
+		cur := reg.Snapshot()
+		d := ComputeDelta(prev, cur)
+		if err := ApplyDelta(&acc, d); err != nil {
+			t.Fatalf("step %d: apply: %v", step, err)
+		}
+		prev = cur
+	}
+	if !reflect.DeepEqual(acc, reg.Snapshot()) {
+		t.Fatalf("accumulated view diverged from live registry:\n acc  %+v\n live %+v", acc, reg.Snapshot())
+	}
+}
+
+// Coalescing: a delta computed across k skipped intervals must equal the
+// composition of the k per-interval deltas — the property that lets the
+// exporter drop a delta frame and fold its increments into the next one.
+func TestDeltaCoalesces(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	reg := obs.NewRegistry()
+	mutate(reg, rng)
+	base := reg.Snapshot()
+
+	stepwise := base.Clone()
+	prev := base
+	for i := 0; i < 7; i++ {
+		mutate(reg, rng)
+		cur := reg.Snapshot()
+		if err := ApplyDelta(&stepwise, ComputeDelta(prev, cur)); err != nil {
+			t.Fatal(err)
+		}
+		prev = cur
+	}
+
+	coalesced := base.Clone()
+	if err := ApplyDelta(&coalesced, ComputeDelta(base, reg.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stepwise, coalesced) {
+		t.Fatal("coalesced delta diverged from stepwise application")
+	}
+}
+
+// A delta round-tripped through the wire must apply identically: the
+// omit-zero encoding on counters/gauges must not lose increments.
+func TestDeltaWireRoundTripApplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	reg := obs.NewRegistry()
+	mutate(reg, rng)
+	before := reg.Snapshot()
+	mutate(reg, rng)
+	after := reg.Snapshot()
+
+	d := ComputeDelta(before, after)
+	payload, err := EncodeMsg(&Msg{Kind: KindDelta, Delta: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeMsg(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := before.Clone()
+	if err := ApplyDelta(&acc, m.Delta); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acc, after) {
+		t.Fatal("wire-round-tripped delta did not reproduce the target snapshot")
+	}
+}
+
+// Applying a histogram delta onto a reshaped accumulator must error —
+// silently merging mismatched bucket layouts would corrupt the view.
+func TestApplyDeltaRejectsHistogramReshape(t *testing.T) {
+	acc := obs.Snapshot{Histograms: map[string]obs.HistSnapshot{
+		"h": {Lo: 0, Hi: 1, Buckets: []int64{1, 2}},
+	}}
+	d := Delta{Hists: map[string]obs.HistSnapshot{
+		"h": {Lo: 0, Hi: 2, Buckets: []int64{1, 2, 3}},
+	}}
+	if err := ApplyDelta(&acc, d); err == nil {
+		t.Fatal("histogram reshape applied silently")
+	}
+}

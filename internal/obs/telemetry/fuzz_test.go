@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTelemetryDecode hardens the wire decoder the same way
+// durable.FuzzRecordDecode hardens the WAL: arbitrary bytes must either
+// error or decode canonically — a clean decode re-encodes to the exact
+// input, so hostile frames can never smuggle state the encoder would not
+// have produced.
+func FuzzTelemetryDecode(f *testing.F) {
+	for _, m := range sampleMsgs(f) {
+		payload, err := EncodeMsg(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	// Adversarial seeds: empty, lone kind byte, unknown kind, a count
+	// field inflated toward the decoder's allocation limits.
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindHello)})
+	f.Add([]byte{0xee, 1, 2, 3, 4, 5, 6, 7})
+	huge, err := EncodeMsg(&Msg{Kind: KindSpans, Spans: sampleSpans()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	huge[1] = 0xff // inflate the span count
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeMsg(payload)
+		if err != nil {
+			return
+		}
+		re, err := EncodeMsg(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", payload, re)
+		}
+		if _, err := DecodeMsg(re); err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+	})
+}

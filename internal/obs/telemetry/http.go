@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+	"milan/internal/obs/ledger"
+	"milan/internal/obs/slo"
+)
+
+// ClusterState is the aggregator's full view in one JSON-marshalable
+// value: the /state surface, and the artifact milanmon dumps on smoke
+// failure.
+type ClusterState struct {
+	Nodes    []NodeStatus            `json:"nodes"`
+	Merged   obs.Snapshot            `json:"merged"`
+	PerNode  map[string]obs.Snapshot `json:"per_node"`
+	SLO      slo.EngineState         `json:"slo"`
+	Burns    []slo.ObjectiveBurn     `json:"burns"`
+	Headroom core.Headroom           `json:"headroom"`
+	Ledger   *ledger.Snapshot        `json:"ledger,omitempty"`
+	Alerts   []AlertEvent            `json:"alerts,omitempty"`
+	Error    string                  `json:"error,omitempty"`
+}
+
+// State captures the aggregator's current cluster view.
+func (a *Aggregator) State() ClusterState {
+	merged, err := a.MergedRegistry()
+	perNode, _ := a.NodeSnapshots()
+	st := ClusterState{
+		Nodes:    a.Nodes(),
+		Merged:   merged,
+		PerNode:  perNode,
+		SLO:      a.MergedSLO(),
+		Headroom: a.MergedHeadroom(),
+		Ledger:   a.MergedLedger(),
+		Alerts:   a.Alerts(),
+	}
+	st.Burns = st.SLO.Burns()
+	if err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// Handler serves the aggregator's cluster-level view:
+//
+//	/metrics  merged registry (JSON: merged + per-node; ?format=prom for
+//	          node-labeled Prometheus text exposition)
+//	/trace    stitched cross-process span trees as JSON (?trace=ID)
+//	/slo      merged SLO state, re-derived burns, and alert transitions
+//	/nodes    per-node liveness, stream lag, and drop accounting
+//	/headroom merged admissibility frontier
+//	/ledger   merged utilization ledger
+//	/state    the full ClusterState in one document
+//	/healthz  200 when every node is connected, 503 otherwise
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("milanmon cluster view\n\n/metrics  merged registry (JSON; ?format=prom for node-labeled Prometheus text)\n/trace    stitched cross-process span trees (JSON, ?trace=ID)\n/slo      merged SLO state + re-derived burn rates + alerts\n/nodes    node liveness, stream lag, drop accounting\n/headroom merged admissibility frontier\n/ledger   merged utilization ledger\n/state    full cluster state in one document\n/healthz  cluster liveness\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if obs.WantsProm(r) {
+			snaps, help := a.NodeSnapshots()
+			w.Header().Set("Content-Type", obs.PromContentType)
+			if err := WritePromLabeled(w, snaps, help); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		merged, err := a.MergedRegistry()
+		perNode, _ := a.NodeSnapshots()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, struct {
+			Merged obs.Snapshot            `json:"merged"`
+			Nodes  map[string]obs.Snapshot `json:"nodes"`
+		}{merged, perNode})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		trees := a.SpanTrees()
+		if s := r.URL.Query().Get("trace"); s != "" {
+			var id uint64
+			if _, err := fmt.Sscanf(s, "%d", &id); err != nil {
+				http.Error(w, "bad trace parameter", http.StatusBadRequest)
+				return
+			}
+			if tree, ok := trees[obs.TraceID(id)]; ok {
+				writeJSON(w, tree)
+				return
+			}
+			http.NotFound(w, r)
+			return
+		}
+		// Render keyed by decimal trace ID, ordered.
+		ids := make([]obs.TraceID, 0, len(trees))
+		for id := range trees {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := make([]*obs.SpanNode, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, trees[id])
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		st := a.MergedSLO()
+		writeJSON(w, struct {
+			State  slo.EngineState     `json:"state"`
+			Burns  []slo.ObjectiveBurn `json:"burns"`
+			Alerts []AlertEvent        `json:"alerts"`
+		}{st, st.Burns(), a.Alerts()})
+	})
+	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.Nodes())
+	})
+	mux.HandleFunc("/headroom", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.MergedHeadroom())
+	})
+	mux.HandleFunc("/ledger", func(w http.ResponseWriter, r *http.Request) {
+		ls := a.MergedLedger()
+		if ls == nil {
+			http.Error(w, "no ledger received yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ls)
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.State())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		nodes := a.Nodes()
+		down := 0
+		for _, n := range nodes {
+			if !n.Connected {
+				down++
+			}
+		}
+		if down > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, struct {
+			Nodes int `json:"nodes"`
+			Down  int `json:"down"`
+		}{len(nodes), down})
+	})
+	return mux
+}
+
+// WritePromLabeled renders per-node registry snapshots in the
+// Prometheus text exposition format with every sample labeled by origin
+// (`name{node="label"}`): one HELP/TYPE header per family, then one
+// series per node.  Cross-node aggregation is left to the scraper
+// (`sum by (__name__)`), matching Prometheus convention — the merged
+// totals are served pre-computed on the JSON side only.
+func WritePromLabeled(w io.Writer, snaps map[string]obs.Snapshot, help map[string]string) error {
+	nodes := make([]string, 0, len(snaps))
+	for n := range snaps {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	label := func(node string, extra string) string {
+		if extra == "" {
+			return fmt.Sprintf(`{node="%s"}`, obs.PromEscapeLabel(node))
+		}
+		return fmt.Sprintf(`{node="%s",%s}`, obs.PromEscapeLabel(node), extra)
+	}
+	header := func(name, kind, suffix string) error {
+		n := obs.PromName(name) + suffix
+		h := help[name]
+		if h == "" {
+			h = "milan " + kind + " " + obs.PromName(name) + "."
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, obs.PromEscapeHelp(h), n, kind)
+		return err
+	}
+	// Union of family names per kind, sorted for a stable exposition.
+	families := func(pick func(obs.Snapshot) []string) []string {
+		seen := make(map[string]bool)
+		var out []string
+		for _, node := range nodes {
+			for _, name := range pick(snaps[node]) {
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	counterNames := families(func(s obs.Snapshot) []string { return mapKeys(s.Counters) })
+	gaugeNames := families(func(s obs.Snapshot) []string { return mapKeys(s.Gauges) })
+	histNames := families(func(s obs.Snapshot) []string { return mapKeys(s.Histograms) })
+	statNames := families(func(s obs.Snapshot) []string { return mapKeys(s.Stats) })
+
+	for _, name := range counterNames {
+		if err := header(name, "counter", ""); err != nil {
+			return err
+		}
+		for _, node := range nodes {
+			if v, ok := snaps[node].Counters[name]; ok {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", obs.PromName(name), label(node, ""), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, name := range gaugeNames {
+		if err := header(name, "gauge", ""); err != nil {
+			return err
+		}
+		for _, node := range nodes {
+			if v, ok := snaps[node].Gauges[name]; ok {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", obs.PromName(name), label(node, ""), obs.PromFloat(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, name := range histNames {
+		if err := header(name, "histogram", ""); err != nil {
+			return err
+		}
+		n := obs.PromName(name)
+		for _, node := range nodes {
+			h, ok := snaps[node].Histograms[name]
+			if !ok {
+				continue
+			}
+			width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+			cum := h.Under
+			for i, c := range h.Buckets {
+				cum += c
+				le := h.Lo + float64(i+1)*width
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n,
+					label(node, fmt.Sprintf(`le="%s"`, obs.PromEscapeLabel(obs.PromFloat(le)))), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+				n, label(node, `le="+Inf"`), h.Count,
+				n, label(node, ""), obs.PromFloat(h.Sum),
+				n, label(node, ""), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range statNames {
+		n := obs.PromName(name)
+		for _, part := range []string{"_mean", "_std", "_count"} {
+			if err := header(name, "gauge", part); err != nil {
+				return err
+			}
+			for _, node := range nodes {
+				st, ok := snaps[node].Stats[name]
+				if !ok {
+					continue
+				}
+				var v string
+				switch part {
+				case "_mean":
+					v = obs.PromFloat(st.Mean)
+				case "_std":
+					v = obs.PromFloat(st.Std)
+				case "_count":
+					v = fmt.Sprint(st.N)
+				}
+				if _, err := fmt.Fprintf(w, "%s%s%s %s\n", n, part, label(node, ""), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"milan/internal/obs"
+)
+
+// WritePromLabeled must emit one HELP/TYPE header per metric family and
+// one node-labeled sample per node, with histogram buckets cumulative.
+func TestWritePromLabeled(t *testing.T) {
+	snaps := map[string]obs.Snapshot{
+		"n1": {
+			Counters:   map[string]int64{"jobs_admitted": 5},
+			Gauges:     map[string]float64{"inflight": 2},
+			Histograms: map[string]obs.HistSnapshot{"lat": {Lo: 0, Hi: 1, Buckets: []int64{3, 1}, Under: 0, Over: 1, Count: 5, Sum: 2.5}},
+			Stats:      map[string]obs.StatSnapshot{"slack": {N: 4, Mean: 0.5, Std: 0.1}},
+		},
+		"n2": {Counters: map[string]int64{"jobs_admitted": 7}},
+	}
+	var sb strings.Builder
+	if err := WritePromLabeled(&sb, snaps, map[string]string{"jobs_admitted": "Jobs admitted."}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP jobs_admitted Jobs admitted.",
+		"# TYPE jobs_admitted counter",
+		`jobs_admitted{node="n1"} 5`,
+		`jobs_admitted{node="n2"} 7`,
+		`inflight{node="n1"} 2`,
+		`lat_count{node="n1"} 5`,
+		`lat_sum{node="n1"} 2.5`,
+		`slack_mean{node="n1"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: le="1" must equal the total in-range+under
+	// count and the +Inf bucket the full count.
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("no +Inf bucket in:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE jobs_admitted counter"); n != 1 {
+		t.Fatalf("HELP/TYPE emitted %d times, want once per family", n)
+	}
+}
+
+// The cluster endpoints must serve: JSON /metrics with merged == node
+// sums, Prometheus /metrics on content negotiation, /nodes, /healthz.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_admitted").Add(3)
+	exp := newTestExporter(t, "n1", "127.0.0.1:0", Sources{Registry: reg})
+	defer exp.Close()
+	agg := newTestAggregator(t, exp.Addr())
+	waitFor(t, 5*time.Second, func() error {
+		st := agg.Nodes()[0]
+		if !st.Connected || st.Frames == 0 {
+			return fmt.Errorf("not ready")
+		}
+		return nil
+	})
+	h := agg.Handler()
+
+	// JSON /metrics.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var body struct {
+		Merged obs.Snapshot            `json:"merged"`
+		Nodes  map[string]obs.Snapshot `json:"nodes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/metrics JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Merged.Counters["jobs_admitted"] != 3 || body.Nodes["n1"].Counters["jobs_admitted"] != 3 {
+		t.Fatalf("merged/per-node mismatch: %+v", body)
+	}
+
+	// Prometheus /metrics via ?format=prom.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if !strings.Contains(rec.Body.String(), `jobs_admitted{node="n1"} 3`) {
+		t.Fatalf("prom exposition missing labeled sample:\n%s", rec.Body.String())
+	}
+
+	// /nodes reports the connected node.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nodes", nil))
+	var nodes []NodeStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || !nodes[0].Connected || nodes[0].Node != "n1" {
+		t.Fatalf("/nodes = %+v", nodes)
+	}
+
+	// /healthz is 200 while the node is up, 503 once it goes dark.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz = %d with node up", rec.Code)
+	}
+	exp.Close()
+	waitFor(t, 5*time.Second, func() error {
+		if agg.Nodes()[0].Connected {
+			return fmt.Errorf("not ready")
+		}
+		return nil
+	})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/healthz = %d with node down", rec.Code)
+	}
+
+	// /state is one self-contained JSON document.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/state", nil))
+	var st ClusterState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/state: %v", err)
+	}
+	if len(st.Nodes) != 1 {
+		t.Fatalf("/state nodes = %+v", st.Nodes)
+	}
+}

@@ -1,0 +1,773 @@
+// Package telemetry federates the observability plane across processes: a
+// versioned streaming wire protocol carrying registry snapshot deltas,
+// completed spans, SLO objective states, headroom frontiers and ledger
+// buckets from any process hosting an obs registry (Exporter), and an
+// Aggregator that subscribes to N such nodes, merges their state with the
+// existing Merge primitives and serves a live cluster view.
+//
+// The wire format follows the durability layer's discipline exactly: every
+// message travels as one length-prefixed, crc32c-checksummed frame
+// ([len u32][crc32c u32][payload], little-endian), and every payload has a
+// strict canonical decoder — bounds-checked cursor, booleans restricted to
+// 0/1, map keys required in strictly increasing order, exact payload
+// consumption — so decode∘encode is the identity on every cleanly decoded
+// message (FuzzTelemetryDecode pins this).
+//
+// A session is one exporter connection: a Hello frame (protocol version,
+// node name, session ID, delta cadence), one full registry Snapshot, then
+// incremental Delta frames plus span batches, SLO/headroom/ledger state
+// and heartbeats on the delta cadence.  Reconnecting yields a fresh
+// session whose leading snapshot REPLACES everything the subscriber had
+// accumulated for the node — the snapshot-then-delta resync that makes
+// restarts safe.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+	"milan/internal/obs/ledger"
+	"milan/internal/obs/slo"
+)
+
+// Version is the protocol version carried in every Hello frame.  A
+// subscriber refuses sessions with a version it does not speak.
+const Version = 1
+
+// MsgKind enumerates the frame types of one telemetry session.
+type MsgKind uint8
+
+// Frame kinds.
+const (
+	// KindHello opens a session: protocol version, node identity, session
+	// ID and the exporter's delta cadence.  Always the first frame.
+	KindHello MsgKind = 1
+	// KindSnapshot is a full registry snapshot.  Sent once after Hello;
+	// it resets the subscriber's accumulated registry state for the node.
+	KindSnapshot MsgKind = 2
+	// KindDelta is an incremental registry delta since the previous
+	// Snapshot/Delta frame: counter and histogram-bucket increments,
+	// changed gauges, replaced stats.  Counter deltas are exact int64
+	// arithmetic, so snapshot + Σ deltas equals the live registry
+	// bit-for-bit on counters.
+	KindDelta MsgKind = 3
+	// KindSpans is a batch of completed spans.
+	KindSpans MsgKind = 4
+	// KindSLO is the exporting engine's SLO objective state: cumulative
+	// counts plus per-objective sliding-window totals, enough for the
+	// aggregator to re-run burn-rate alerting over the merged view.
+	KindSLO MsgKind = 5
+	// KindHeadroom is the node's current headroom frontier.
+	KindHeadroom MsgKind = 6
+	// KindLedger is the node's utilization-ledger snapshot, carried as
+	// canonical JSON inside the checksummed frame.
+	KindLedger MsgKind = 7
+	// KindHeartbeat carries liveness, the frame sequence number and the
+	// per-stream drop counters (frames coalesced, spans lost).
+	KindHeartbeat MsgKind = 8
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindSnapshot:
+		return "snapshot"
+	case KindDelta:
+		return "delta"
+	case KindSpans:
+		return "spans"
+	case KindSLO:
+		return "slo"
+	case KindHeadroom:
+		return "headroom"
+	case KindLedger:
+		return "ledger"
+	case KindHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Hello opens a session.
+type Hello struct {
+	Version  uint32  `json:"version"`
+	Node     string  `json:"node"`
+	Session  uint64  `json:"session"`
+	Now      float64 `json:"now"`
+	Interval float64 `json:"interval"` // delta cadence, seconds
+}
+
+// Heartbeat is the per-cadence liveness frame.  Seq increments once per
+// tick; the drop counters are cumulative for the session, so a subscriber
+// can attribute loss without extra round trips.
+type Heartbeat struct {
+	Now           float64 `json:"now"`
+	Seq           uint64  `json:"seq"`
+	DroppedFrames int64   `json:"dropped_frames"`
+	DroppedSpans  int64   `json:"dropped_spans"`
+	SpanTotal     int64   `json:"span_total"`
+}
+
+// Delta is an incremental registry update.  Seq numbers delivered deltas
+// contiguously within a session (a delta that could not be enqueued is
+// coalesced into the next one, never skipped), so any gap a subscriber
+// observes means a torn stream and forces a resync.
+type Delta struct {
+	Seq      uint64                      `json:"seq"`
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Gauges   map[string]float64          `json:"gauges,omitempty"`
+	Hists    map[string]obs.HistSnapshot `json:"hists,omitempty"`
+	Stats    map[string]obs.StatSnapshot `json:"stats,omitempty"`
+}
+
+// Msg is one decoded telemetry frame: Kind selects which field is
+// meaningful, mirroring durable.Record's tagged-record style.
+type Msg struct {
+	Kind MsgKind
+
+	Hello     Hello             // KindHello
+	Snapshot  obs.Snapshot      // KindSnapshot
+	Help      map[string]string // KindSnapshot: metric help text for exposition
+	Delta     Delta             // KindDelta
+	Spans     []obs.SpanRec     // KindSpans
+	SLO       slo.EngineState   // KindSLO
+	Headroom  core.Headroom     // KindHeadroom
+	Ledger    *ledger.Snapshot  // KindLedger
+	Heartbeat Heartbeat         // KindHeartbeat
+}
+
+// Decoder hardening limits, mirroring internal/durable: corrupt counts
+// must error, never panic or stampede allocations.
+const (
+	maxFramePayload = 16 << 20
+	maxStringLen    = 4096
+	maxNames        = 1 << 16
+	maxBuckets      = 1 << 16
+	maxSpans        = 1 << 16
+	maxAttrs        = 256
+	maxObjectives   = 1 << 8
+	maxLedgerJSON   = 8 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendUint32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendInt64(b []byte, v int64) []byte { return appendUint64(b, uint64(v)) }
+
+func appendFloat(b []byte, v float64) []byte { return appendUint64(b, math.Float64bits(v)) }
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendHistSnapshot(b []byte, h obs.HistSnapshot) []byte {
+	b = appendFloat(b, h.Lo)
+	b = appendFloat(b, h.Hi)
+	b = appendUint32(b, uint32(len(h.Buckets)))
+	for _, c := range h.Buckets {
+		b = appendInt64(b, c)
+	}
+	b = appendInt64(b, h.Under)
+	b = appendInt64(b, h.Over)
+	b = appendInt64(b, h.Count)
+	b = appendFloat(b, h.Sum)
+	return b
+}
+
+func appendStatSnapshot(b []byte, s obs.StatSnapshot) []byte {
+	b = appendInt64(b, int64(s.N))
+	b = appendFloat(b, s.Mean)
+	b = appendFloat(b, s.Std)
+	b = appendFloat(b, s.CI95)
+	return b
+}
+
+func appendSpan(b []byte, s obs.SpanRec) []byte {
+	b = appendUint64(b, uint64(s.Trace))
+	b = appendUint64(b, uint64(s.ID))
+	b = appendUint64(b, uint64(s.Parent))
+	b = appendString(b, s.Name)
+	b = appendString(b, s.Stage)
+	b = appendInt64(b, int64(s.Job))
+	b = appendFloat(b, s.Start)
+	b = appendFloat(b, s.End)
+	b = appendString(b, s.Err)
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendFloat(b, s.Attrs[k])
+	}
+	return b
+}
+
+func appendHeadroom(b []byte, h core.Headroom) []byte {
+	b = appendFloat(b, h.From)
+	b = appendFloat(b, h.Horizon)
+	b = appendUint32(b, uint32(h.MaxProcs))
+	b = appendFloat(b, h.MaxDuration)
+	b = appendFloat(b, h.MaxArea)
+	b = appendFloat(b, h.BestHole.Start)
+	b = appendFloat(b, h.BestHole.End)
+	b = appendUint32(b, uint32(h.BestHole.Procs))
+	return b
+}
+
+// sortedNames returns a map's keys sorted — the canonical encode order.
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendSnapshot(b []byte, s obs.Snapshot) []byte {
+	b = appendUint32(b, uint32(len(s.Counters)))
+	for _, name := range sortedNames(s.Counters) {
+		b = appendString(b, name)
+		b = appendInt64(b, s.Counters[name])
+	}
+	b = appendUint32(b, uint32(len(s.Gauges)))
+	for _, name := range sortedNames(s.Gauges) {
+		b = appendString(b, name)
+		b = appendFloat(b, s.Gauges[name])
+	}
+	b = appendUint32(b, uint32(len(s.Histograms)))
+	for _, name := range sortedNames(s.Histograms) {
+		b = appendString(b, name)
+		b = appendHistSnapshot(b, s.Histograms[name])
+	}
+	b = appendUint32(b, uint32(len(s.Stats)))
+	for _, name := range sortedNames(s.Stats) {
+		b = appendString(b, name)
+		b = appendStatSnapshot(b, s.Stats[name])
+	}
+	return b
+}
+
+func appendSLOState(b []byte, s slo.EngineState) []byte {
+	b = appendInt64(b, s.Admitted)
+	b = appendInt64(b, s.Rejected)
+	b = appendInt64(b, s.Completed)
+	b = appendInt64(b, s.InFlight)
+	b = appendInt64(b, s.DeadlineMisses)
+	b = appendInt64(b, s.OverAdmissions)
+	b = appendFloat(b, s.BurnThreshold)
+	b = appendUint32(b, uint32(len(s.Objectives)))
+	for _, o := range s.Objectives {
+		b = appendString(b, o.Name)
+		b = appendFloat(b, o.Budget)
+		b = appendBool(b, o.Active)
+		b = appendInt64(b, o.ShortBad)
+		b = appendInt64(b, o.ShortTotal)
+		b = appendInt64(b, o.LongBad)
+		b = appendInt64(b, o.LongTotal)
+	}
+	return b
+}
+
+// EncodeMsg serializes one message payload (no framing).
+func EncodeMsg(m *Msg) ([]byte, error) {
+	b := make([]byte, 0, 256)
+	b = append(b, byte(m.Kind))
+	switch m.Kind {
+	case KindHello:
+		b = appendUint32(b, m.Hello.Version)
+		b = appendString(b, m.Hello.Node)
+		b = appendUint64(b, m.Hello.Session)
+		b = appendFloat(b, m.Hello.Now)
+		b = appendFloat(b, m.Hello.Interval)
+	case KindSnapshot:
+		b = appendSnapshot(b, m.Snapshot)
+		b = appendUint32(b, uint32(len(m.Help)))
+		for _, name := range sortedNames(m.Help) {
+			b = appendString(b, name)
+			b = appendString(b, m.Help[name])
+		}
+	case KindDelta:
+		b = appendUint64(b, m.Delta.Seq)
+		b = appendUint32(b, uint32(len(m.Delta.Counters)))
+		for _, name := range sortedNames(m.Delta.Counters) {
+			b = appendString(b, name)
+			b = appendInt64(b, m.Delta.Counters[name])
+		}
+		b = appendUint32(b, uint32(len(m.Delta.Gauges)))
+		for _, name := range sortedNames(m.Delta.Gauges) {
+			b = appendString(b, name)
+			b = appendFloat(b, m.Delta.Gauges[name])
+		}
+		b = appendUint32(b, uint32(len(m.Delta.Hists)))
+		for _, name := range sortedNames(m.Delta.Hists) {
+			b = appendString(b, name)
+			b = appendHistSnapshot(b, m.Delta.Hists[name])
+		}
+		b = appendUint32(b, uint32(len(m.Delta.Stats)))
+		for _, name := range sortedNames(m.Delta.Stats) {
+			b = appendString(b, name)
+			b = appendStatSnapshot(b, m.Delta.Stats[name])
+		}
+	case KindSpans:
+		b = appendUint32(b, uint32(len(m.Spans)))
+		for _, s := range m.Spans {
+			b = appendSpan(b, s)
+		}
+	case KindSLO:
+		b = appendSLOState(b, m.SLO)
+	case KindHeadroom:
+		b = appendHeadroom(b, m.Headroom)
+	case KindLedger:
+		if m.Ledger == nil {
+			return nil, fmt.Errorf("telemetry: ledger frame without a snapshot")
+		}
+		js, err := json.Marshal(m.Ledger)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: encode ledger: %w", err)
+		}
+		if len(js) > maxLedgerJSON {
+			return nil, fmt.Errorf("telemetry: ledger JSON %d bytes exceeds limit %d", len(js), maxLedgerJSON)
+		}
+		b = appendUint32(b, uint32(len(js)))
+		b = append(b, js...)
+	case KindHeartbeat:
+		b = appendFloat(b, m.Heartbeat.Now)
+		b = appendUint64(b, m.Heartbeat.Seq)
+		b = appendInt64(b, m.Heartbeat.DroppedFrames)
+		b = appendInt64(b, m.Heartbeat.DroppedSpans)
+		b = appendInt64(b, m.Heartbeat.SpanTotal)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown message kind %d", uint8(m.Kind))
+	}
+	return b, nil
+}
+
+// cursor is a bounds-checked little-endian payload reader (the durable
+// layer's canonical-decode discipline).
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.fail("telemetry: truncated payload (want %d bytes at %d of %d)", n, c.off, len(c.b))
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// boolean accepts only the canonical encodings 0 and 1.
+func (c *cursor) boolean() bool {
+	b := c.u8()
+	if b > 1 {
+		c.fail("telemetry: non-canonical bool byte %#x", b)
+	}
+	return b == 1
+}
+
+func (c *cursor) str() string {
+	n := c.u32()
+	if n > maxStringLen {
+		c.fail("telemetry: string length %d exceeds limit %d", n, maxStringLen)
+		return ""
+	}
+	b := c.take(int(n))
+	return string(b)
+}
+
+// count reads a collection count with a limit and a minimum per-element
+// size, so a corrupt count cannot force a huge allocation.
+func (c *cursor) count(limit uint32, minElem int, what string) int {
+	n := c.u32()
+	if n > limit {
+		c.fail("telemetry: %s count %d exceeds limit %d", what, n, limit)
+		return 0
+	}
+	if c.err == nil && int(n)*minElem > len(c.b)-c.off {
+		c.fail("telemetry: %s count %d exceeds remaining payload", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+func (c *cursor) histSnapshot() obs.HistSnapshot {
+	var h obs.HistSnapshot
+	h.Lo = c.f64()
+	h.Hi = c.f64()
+	n := c.count(maxBuckets, 8, "bucket")
+	if n > 0 {
+		h.Buckets = make([]int64, 0, n)
+		for i := 0; i < n && c.err == nil; i++ {
+			h.Buckets = append(h.Buckets, c.i64())
+		}
+	}
+	h.Under = c.i64()
+	h.Over = c.i64()
+	h.Count = c.i64()
+	h.Sum = c.f64()
+	return h
+}
+
+func (c *cursor) statSnapshot() obs.StatSnapshot {
+	var s obs.StatSnapshot
+	s.N = int(c.i64())
+	s.Mean = c.f64()
+	s.Std = c.f64()
+	s.CI95 = c.f64()
+	return s
+}
+
+// nameSeq enforces the canonical strictly-increasing key order, so every
+// cleanly decoded map re-encodes to the exact same bytes.
+type nameSeq struct {
+	prev string
+	seen bool
+}
+
+func (ns *nameSeq) check(c *cursor, name string) {
+	if ns.seen && name <= ns.prev {
+		c.fail("telemetry: non-canonical key order (%q after %q)", name, ns.prev)
+	}
+	ns.prev, ns.seen = name, true
+}
+
+func (c *cursor) span() obs.SpanRec {
+	var s obs.SpanRec
+	s.Trace = obs.TraceID(c.u64())
+	s.ID = obs.SpanID(c.u64())
+	s.Parent = obs.SpanID(c.u64())
+	s.Name = c.str()
+	s.Stage = c.str()
+	s.Job = int(c.i64())
+	s.Start = c.f64()
+	s.End = c.f64()
+	s.Err = c.str()
+	n := c.count(maxAttrs, 12, "attr")
+	if n > 0 {
+		s.Attrs = make(map[string]float64, n)
+		var ns nameSeq
+		for i := 0; i < n && c.err == nil; i++ {
+			k := c.str()
+			ns.check(c, k)
+			s.Attrs[k] = c.f64()
+		}
+	}
+	return s
+}
+
+func (c *cursor) headroom() core.Headroom {
+	var h core.Headroom
+	h.From = c.f64()
+	h.Horizon = c.f64()
+	h.MaxProcs = int(int32(c.u32()))
+	h.MaxDuration = c.f64()
+	h.MaxArea = c.f64()
+	h.BestHole.Start = c.f64()
+	h.BestHole.End = c.f64()
+	h.BestHole.Procs = int(int32(c.u32()))
+	return h
+}
+
+func (c *cursor) snapshot() obs.Snapshot {
+	var s obs.Snapshot
+	if n := c.count(maxNames, 12, "counter"); n > 0 || c.err == nil {
+		s.Counters = make(map[string]int64, n)
+		var ns nameSeq
+		for i := 0; i < n && c.err == nil; i++ {
+			k := c.str()
+			ns.check(c, k)
+			s.Counters[k] = c.i64()
+		}
+	}
+	if n := c.count(maxNames, 12, "gauge"); n > 0 || c.err == nil {
+		s.Gauges = make(map[string]float64, n)
+		var ns nameSeq
+		for i := 0; i < n && c.err == nil; i++ {
+			k := c.str()
+			ns.check(c, k)
+			s.Gauges[k] = c.f64()
+		}
+	}
+	if n := c.count(maxNames, 24, "histogram"); n > 0 || c.err == nil {
+		s.Histograms = make(map[string]obs.HistSnapshot, n)
+		var ns nameSeq
+		for i := 0; i < n && c.err == nil; i++ {
+			k := c.str()
+			ns.check(c, k)
+			s.Histograms[k] = c.histSnapshot()
+		}
+	}
+	if n := c.count(maxNames, 36, "stat"); n > 0 || c.err == nil {
+		s.Stats = make(map[string]obs.StatSnapshot, n)
+		var ns nameSeq
+		for i := 0; i < n && c.err == nil; i++ {
+			k := c.str()
+			ns.check(c, k)
+			s.Stats[k] = c.statSnapshot()
+		}
+	}
+	return s
+}
+
+func (c *cursor) sloState() slo.EngineState {
+	var s slo.EngineState
+	s.Admitted = c.i64()
+	s.Rejected = c.i64()
+	s.Completed = c.i64()
+	s.InFlight = c.i64()
+	s.DeadlineMisses = c.i64()
+	s.OverAdmissions = c.i64()
+	s.BurnThreshold = c.f64()
+	n := c.count(maxObjectives, 45, "objective")
+	if n > 0 {
+		s.Objectives = make([]slo.ObjectiveState, 0, n)
+		for i := 0; i < n && c.err == nil; i++ {
+			var o slo.ObjectiveState
+			o.Name = c.str()
+			o.Budget = c.f64()
+			o.Active = c.boolean()
+			o.ShortBad = c.i64()
+			o.ShortTotal = c.i64()
+			o.LongBad = c.i64()
+			o.LongTotal = c.i64()
+			s.Objectives = append(s.Objectives, o)
+		}
+	}
+	return s
+}
+
+// DecodeMsg parses one message payload.  Truncated, oversized,
+// non-canonical or trailing-garbage payloads return an error; no input
+// may panic (the fuzz target pins this), and decode∘encode is the
+// identity on success.
+func DecodeMsg(payload []byte) (*Msg, error) {
+	c := &cursor{b: payload}
+	m := &Msg{Kind: MsgKind(c.u8())}
+	switch m.Kind {
+	case KindHello:
+		m.Hello.Version = c.u32()
+		m.Hello.Node = c.str()
+		m.Hello.Session = c.u64()
+		m.Hello.Now = c.f64()
+		m.Hello.Interval = c.f64()
+	case KindSnapshot:
+		m.Snapshot = c.snapshot()
+		if n := c.count(maxNames, 8, "help"); n > 0 || c.err == nil {
+			m.Help = make(map[string]string, n)
+			var ns nameSeq
+			for i := 0; i < n && c.err == nil; i++ {
+				k := c.str()
+				ns.check(c, k)
+				m.Help[k] = c.str()
+			}
+		}
+	case KindDelta:
+		m.Delta.Seq = c.u64()
+		if n := c.count(maxNames, 12, "counter"); n > 0 {
+			m.Delta.Counters = make(map[string]int64, n)
+			var ns nameSeq
+			for i := 0; i < n && c.err == nil; i++ {
+				k := c.str()
+				ns.check(c, k)
+				m.Delta.Counters[k] = c.i64()
+			}
+		}
+		if n := c.count(maxNames, 12, "gauge"); n > 0 {
+			m.Delta.Gauges = make(map[string]float64, n)
+			var ns nameSeq
+			for i := 0; i < n && c.err == nil; i++ {
+				k := c.str()
+				ns.check(c, k)
+				m.Delta.Gauges[k] = c.f64()
+			}
+		}
+		if n := c.count(maxNames, 24, "histogram"); n > 0 {
+			m.Delta.Hists = make(map[string]obs.HistSnapshot, n)
+			var ns nameSeq
+			for i := 0; i < n && c.err == nil; i++ {
+				k := c.str()
+				ns.check(c, k)
+				m.Delta.Hists[k] = c.histSnapshot()
+			}
+		}
+		if n := c.count(maxNames, 36, "stat"); n > 0 {
+			m.Delta.Stats = make(map[string]obs.StatSnapshot, n)
+			var ns nameSeq
+			for i := 0; i < n && c.err == nil; i++ {
+				k := c.str()
+				ns.check(c, k)
+				m.Delta.Stats[k] = c.statSnapshot()
+			}
+		}
+	case KindSpans:
+		n := c.count(maxSpans, 60, "span")
+		m.Spans = make([]obs.SpanRec, 0, n)
+		for i := 0; i < n && c.err == nil; i++ {
+			m.Spans = append(m.Spans, c.span())
+		}
+	case KindSLO:
+		m.SLO = c.sloState()
+	case KindHeadroom:
+		m.Headroom = c.headroom()
+	case KindLedger:
+		n := c.u32()
+		if n > maxLedgerJSON {
+			return nil, fmt.Errorf("telemetry: ledger JSON %d bytes exceeds limit %d", n, maxLedgerJSON)
+		}
+		js := c.take(int(n))
+		if c.err == nil {
+			var ls ledger.Snapshot
+			if err := json.Unmarshal(js, &ls); err != nil {
+				return nil, fmt.Errorf("telemetry: decode ledger: %w", err)
+			}
+			// Canonical-form check: the payload must be exactly what this
+			// encoder would emit, so decode∘encode stays the identity.
+			canon, err := json.Marshal(&ls)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: re-encode ledger: %w", err)
+			}
+			if !bytes.Equal(canon, js) {
+				return nil, fmt.Errorf("telemetry: non-canonical ledger JSON")
+			}
+			m.Ledger = &ls
+		}
+	case KindHeartbeat:
+		m.Heartbeat.Now = c.f64()
+		m.Heartbeat.Seq = c.u64()
+		m.Heartbeat.DroppedFrames = c.i64()
+		m.Heartbeat.DroppedSpans = c.i64()
+		m.Heartbeat.SpanTotal = c.i64()
+	default:
+		return nil, fmt.Errorf("telemetry: unknown message kind %d", uint8(m.Kind))
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(payload) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes after %s frame", len(payload)-c.off, m.Kind)
+	}
+	return m, nil
+}
+
+// EncodeFrame wraps a payload in the wire framing:
+// [len u32][crc32c u32][payload].
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	copy(out[8:], payload)
+	return out
+}
+
+// WriteMsg encodes and writes one framed message.
+func WriteMsg(w io.Writer, m *Msg) error {
+	payload, err := EncodeMsg(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(EncodeFrame(payload))
+	return err
+}
+
+// ReadMsg reads one framed message.  io.EOF means a clean end of stream;
+// any other error (torn frame, checksum mismatch, limit breach,
+// non-canonical payload) means the stream is unusable and the subscriber
+// must resync.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("telemetry: torn frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxFramePayload {
+		return nil, fmt.Errorf("telemetry: frame length %d exceeds limit %d", length, maxFramePayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("telemetry: torn frame payload: %w", err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("telemetry: frame checksum mismatch (got %08x want %08x)", got, want)
+	}
+	return DecodeMsg(payload)
+}
