@@ -37,7 +37,28 @@ type row struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
-	Note        string  `json:"note,omitempty"`
+	// P99NsPerOp is the p99 latency a benchmark reported via
+	// b.ReportMetric(..., "p99-ns/op"); -1 means "not measured" — the
+	// same unknown convention AllocsPerOp uses, so a row without the
+	// metric never gates against a phantom zero.
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// MarshalJSON omits the p99 field entirely when unknown (-1), keeping
+// appended trajectory rows free of sentinel values.
+func (rw row) MarshalJSON() ([]byte, error) {
+	aux := struct {
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		AllocsPerOp int64    `json:"allocs_per_op"`
+		P99NsPerOp  *float64 `json:"p99_ns_per_op,omitempty"`
+		Note        string   `json:"note,omitempty"`
+	}{rw.Name, rw.NsPerOp, rw.AllocsPerOp, nil, rw.Note}
+	if rw.P99NsPerOp >= 0 {
+		aux.P99NsPerOp = &rw.P99NsPerOp
+	}
+	return json.Marshal(aux)
 }
 
 // parseBenchOutput extracts benchmark rows from `go test -bench` text.
@@ -57,7 +78,7 @@ func parseBenchOutput(r io.Reader) ([]row, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		rw := row{Name: trimProcSuffix(fields[0]), AllocsPerOp: -1}
+		rw := row{Name: trimProcSuffix(fields[0]), AllocsPerOp: -1, P99NsPerOp: -1}
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -69,6 +90,8 @@ func parseBenchOutput(r io.Reader) ([]row, error) {
 				rw.NsPerOp, ok = v, true
 			case "allocs/op":
 				rw.AllocsPerOp = int64(v)
+			case "p99-ns/op":
+				rw.P99NsPerOp = v
 			}
 		}
 		if ok {
@@ -108,10 +131,11 @@ func latestBaseline(r io.Reader) (map[string]row, error) {
 			continue
 		}
 		var aux struct {
-			Name        string  `json:"name"`
-			NsPerOp     float64 `json:"ns_per_op"`
-			AllocsPerOp *int64  `json:"allocs_per_op"`
-			Note        string  `json:"note"`
+			Name        string   `json:"name"`
+			NsPerOp     float64  `json:"ns_per_op"`
+			AllocsPerOp *int64   `json:"allocs_per_op"`
+			P99NsPerOp  *float64 `json:"p99_ns_per_op"`
+			Note        string   `json:"note"`
 		}
 		if err := json.Unmarshal([]byte(text), &aux); err != nil {
 			return nil, fmt.Errorf("benchdiff: baseline line %d: %w", line, err)
@@ -119,9 +143,12 @@ func latestBaseline(r io.Reader) (map[string]row, error) {
 		if aux.Name == "" {
 			return nil, fmt.Errorf("benchdiff: baseline line %d: missing name", line)
 		}
-		rw := row{Name: aux.Name, NsPerOp: aux.NsPerOp, AllocsPerOp: -1, Note: aux.Note}
+		rw := row{Name: aux.Name, NsPerOp: aux.NsPerOp, AllocsPerOp: -1, P99NsPerOp: -1, Note: aux.Note}
 		if aux.AllocsPerOp != nil {
 			rw.AllocsPerOp = *aux.AllocsPerOp
+		}
+		if aux.P99NsPerOp != nil {
+			rw.P99NsPerOp = *aux.P99NsPerOp
 		}
 		base[rw.Name] = rw
 	}
@@ -133,8 +160,10 @@ type verdict struct {
 	base     row
 	known    bool
 	nsRatio  float64
+	p99Ratio float64
 	regress  bool
 	whyAlloc bool
+	whyP99   bool
 }
 
 // compare judges each candidate against its baseline.  ns/op regresses
@@ -153,6 +182,15 @@ func compare(base map[string]row, cand []row, threshold float64) []verdict {
 			}
 			if b.AllocsPerOp >= 0 && c.AllocsPerOp > b.AllocsPerOp {
 				v.regress, v.whyAlloc = true, true
+			}
+			// The p99 gate only arms when BOTH sides measured it: a
+			// baseline written before tail tracking (or a candidate run
+			// without it) decodes as -1 and never gates.
+			if b.P99NsPerOp > 0 && c.P99NsPerOp >= 0 {
+				v.p99Ratio = c.P99NsPerOp / b.P99NsPerOp
+				if v.p99Ratio > 1+threshold {
+					v.regress, v.whyP99 = true, true
+				}
 			}
 		}
 		out = append(out, v)
@@ -232,6 +270,10 @@ func main() {
 			failed++
 			fmt.Printf("FAIL  %-48s %6d allocs/op, baseline %d (any increase fails)\n",
 				v.Name, v.AllocsPerOp, v.base.AllocsPerOp)
+		case v.regress && v.whyP99:
+			failed++
+			fmt.Printf("FAIL  %-48s %12.0f p99-ns/op, baseline %.0f (%+.1f%% > %.0f%% threshold)\n",
+				v.Name, v.P99NsPerOp, v.base.P99NsPerOp, 100*(v.p99Ratio-1), 100**threshold)
 		case v.regress:
 			failed++
 			fmt.Printf("FAIL  %-48s %12.0f ns/op, baseline %.0f (%+.1f%% > %.0f%% threshold)\n",

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -140,5 +141,82 @@ func TestCompareVerdicts(t *testing.T) {
 		if v.regress != w.regress || v.whyAlloc != w.whyAlloc || v.known != w.known {
 			t.Errorf("%s: regress=%v alloc=%v known=%v, want %+v", v.Name, v.regress, v.whyAlloc, v.known, w)
 		}
+	}
+}
+
+// Trajectory rows written before tail tracking carry no p99_ns_per_op
+// key.  Those baselines must decode as "unknown" (-1), not 0 — and the
+// gate only arms when BOTH baseline and candidate measured a p99, so
+// neither a legacy baseline nor a candidate run without the metric can
+// produce a phantom verdict.
+func TestLatestBaselineMissingP99Key(t *testing.T) {
+	in := `{"name":"BenchmarkOld","ns_per_op":100,"allocs_per_op":5}
+{"name":"BenchmarkTail","ns_per_op":100,"allocs_per_op":5,"p99_ns_per_op":400}
+`
+	base, err := latestBaseline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkOld"].P99NsPerOp; got != -1 {
+		t.Fatalf("absent p99_ns_per_op decoded as %v, want -1", got)
+	}
+	if got := base["BenchmarkTail"].P99NsPerOp; got != 400 {
+		t.Fatalf("p99_ns_per_op decoded as %v, want 400", got)
+	}
+
+	cand := []row{
+		{Name: "BenchmarkOld", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: 9000},
+		{Name: "BenchmarkTail", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: -1},
+		{Name: "BenchmarkTail", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: 900},
+		{Name: "BenchmarkTail", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: 410},
+	}
+	vs := compare(base, cand, 0.15)
+	if vs[0].regress {
+		t.Errorf("candidate gated against a baseline with no p99 data: %+v", vs[0])
+	}
+	if vs[1].regress {
+		t.Errorf("candidate without a p99 measurement must not gate: %+v", vs[1])
+	}
+	if !vs[2].regress || !vs[2].whyP99 {
+		t.Errorf("2.25x p99 regression not caught: %+v", vs[2])
+	}
+	if vs[3].regress {
+		t.Errorf("p99 within threshold flagged: %+v", vs[3])
+	}
+}
+
+func TestParseBenchOutputP99Metric(t *testing.T) {
+	out := `BenchmarkTailAdmit-16   1000   100 ns/op   5400 p99-ns/op   15 allocs/op
+BenchmarkPlain-16       1000   100 ns/op
+`
+	rows, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].P99NsPerOp != 5400 {
+		t.Errorf("p99-ns/op metric not parsed: %+v", rows[0])
+	}
+	if rows[1].P99NsPerOp != -1 {
+		t.Errorf("row without p99-ns/op should carry -1, got %v", rows[1].P99NsPerOp)
+	}
+}
+
+// Appended rows must not leak the -1 "unknown" sentinel into the
+// trajectory file: a later latestBaseline read would then see an
+// explicit negative value instead of an absent key.
+func TestRowMarshalOmitsUnknownP99(t *testing.T) {
+	b, err := json.Marshal(row{Name: "B", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "p99_ns_per_op") {
+		t.Errorf("unknown p99 serialized: %s", b)
+	}
+	b, err = json.Marshal(row{Name: "B", NsPerOp: 100, AllocsPerOp: 5, P99NsPerOp: 420})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"p99_ns_per_op":420`) {
+		t.Errorf("measured p99 not serialized: %s", b)
 	}
 }

@@ -37,6 +37,8 @@ import (
 	"milan/internal/durable/vfs"
 	"milan/internal/junction"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
+	"milan/internal/obs/latency/runtimewatch"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 	"milan/internal/obs/telemetry"
@@ -68,6 +70,11 @@ func main() {
 	telemetryInterval := flag.Duration("telemetry-interval", time.Second, "telemetry delta cadence (requires -telemetry-addr)")
 	nodeName := flag.String("node", "", "node identity on telemetry sessions and span IDs (default junction-<pid>)")
 	traceSample := flag.Float64("trace-sample", 0, "head-based trace sampling target in traces/sec (0 = trace everything)")
+	latEnvelope := flag.String("latency-envelope", "", "arm the latency-regression sentinel from this BENCH_trajectory.jsonl baseline (requires -wal-dir)")
+	latMatch := flag.String("latency-envelope-match", "ShardedAdmit/shards=8", "trajectory benchmark name substring the envelope derives from")
+	latSlack := flag.Float64("latency-envelope-slack", 3, "envelope slack multiplier over the baseline ns/op")
+	runtimeWatch := flag.Bool("runtime-watch", false, "poll Go runtime health (GC pauses, sched latency, heap, mutex/block profiles) into the registry")
+	injectSlowdown := flag.String("inject-slowdown", "", "TEST HOOK: inflate every admission's given phase, e.g. probe:50ms (drives the regression-sentinel CI smoke)")
 	serveFlag := flag.Bool("serve", false, "keep serving after the demo run until SIGINT/SIGTERM (multi-process clusters)")
 	flag.Parse()
 
@@ -121,8 +128,37 @@ func main() {
 	if *telemetryAddr != "" && *walDir == "" {
 		log.Fatal("junctiond: -telemetry-addr requires -wal-dir (the exporter streams the admission plane's state)")
 	}
+	if *runtimeWatch {
+		if observer == nil {
+			log.Fatal("junctiond: -runtime-watch requires -debug-addr or -telemetry-addr (it publishes into the registry)")
+		}
+		rw := runtimewatch.New(observer.Reg)
+		rw.Start(0)
+		defer rw.Stop()
+	}
 	if *walDir != "" {
-		srv, plane, eng, err := serveAdmission(observer, admitConfig{
+		var lp *latency.Plane
+		if observer != nil {
+			lp = latency.New(latency.Config{Registry: observer.Reg})
+			if *latEnvelope != "" {
+				env, err := latency.EnvelopeFromTrajectory(*latEnvelope, *latMatch, *latSlack)
+				if err != nil {
+					log.Fatalf("junctiond: latency envelope: %v", err)
+				}
+				lp.SetEnvelope(env)
+				fmt.Printf("latency envelope: e2e %dns per phase (baseline %s x%.3g slack)\n\n", env.E2E, *latMatch, *latSlack)
+			}
+			observer.Handle("/latency", lp.Handler(), "admission latency anatomy: phase quantiles, envelope, tail exemplars (JSON; ?format=prom)")
+			if *injectSlowdown != "" {
+				ph, d, err := parseSlowdown(*injectSlowdown)
+				if err != nil {
+					log.Fatalf("junctiond: -inject-slowdown: %v", err)
+				}
+				lp.InjectSlowdown(ph, d)
+				fmt.Printf("WARNING: injecting %s slowdown into the %s phase of every admission (test hook)\n\n", d, ph)
+			}
+		}
+		srv, plane, eng, err := serveAdmission(observer, lp, admitConfig{
 			dir: *walDir, addr: *admitAddr, sync: *walSync,
 			snapshotEvery: *snapshotEvery,
 			procs:         pickProcs(*admitProcs, *workers),
@@ -133,8 +169,27 @@ func main() {
 		}
 		defer plane.Close()
 		defer srv.Close()
+		if eng != nil {
+			// The regression sentinel (and every other burn objective)
+			// needs a periodic clock: tick the engine once a second.
+			start := time.Now()
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				for {
+					select {
+					case <-tick.C:
+						eng.Tick(time.Since(start).Seconds())
+					case <-done:
+						return
+					}
+				}
+			}()
+		}
 		if *telemetryAddr != "" {
-			exp, err := serveTelemetry(observer, ld, plane, eng, telemetryConfig{
+			exp, err := serveTelemetry(observer, ld, plane, eng, lp, telemetryConfig{
 				addr: *telemetryAddr, node: node, interval: *telemetryInterval,
 			})
 			if err != nil {
@@ -276,6 +331,24 @@ func runVideo(frames, workers int, seed int64, radius float64) error {
 	return nil
 }
 
+// parseSlowdown parses the -inject-slowdown test hook value
+// ("<phase>:<duration>", e.g. "probe:50ms").
+func parseSlowdown(s string) (latency.Phase, time.Duration, error) {
+	name, ds, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <phase>:<duration>, got %q", s)
+	}
+	i := latency.ParsePhase(name)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("unknown phase %q (phases: %v)", name, latency.PhaseNames())
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("bad duration %q", ds)
+	}
+	return latency.Phase(i), d, nil
+}
+
 type admitConfig struct {
 	dir, addr, sync string
 	snapshotEvery   int
@@ -298,7 +371,7 @@ func pickProcs(admitProcs, workers int) int {
 // (/metrics exposes append latency, fsync counts, snapshot sizes and
 // recovery replay time), admission requests are traced end to end, and
 // an SLO engine audits every decision via the server's decision hook.
-func serveAdmission(observer *obs.Observer, cfg admitConfig) (*qosnet.Server, *durable.Plane, *slo.Engine, error) {
+func serveAdmission(observer *obs.Observer, lp *latency.Plane, cfg admitConfig) (*qosnet.Server, *durable.Plane, *slo.Engine, error) {
 	pol, err := durable.ParseSyncPolicy(cfg.sync)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("junctiond: %w", err)
@@ -331,7 +404,17 @@ func serveAdmission(observer *obs.Observer, cfg admitConfig) (*qosnet.Server, *d
 	var eng *slo.Engine
 	if observer != nil {
 		srv.SetTracer(observer.Tracer())
-		eng = slo.New(slo.Options{Registry: observer.Reg})
+		srv.SetLatency(lp)
+		opts := slo.Options{Registry: observer.Reg}
+		if lp != nil {
+			// Arm the online regression sentinel: the engine diffs the
+			// plane's per-phase envelope counters each Tick and cuts a
+			// flight snapshot when a phase burns its budget.
+			opts.RegressionSource = lp.RegressionCounts
+			opts.Recorder = slo.NewRecorder(4096, 1024)
+			opts.Recorder.Attach(observer.Tracer())
+		}
+		eng = slo.New(opts)
 		eng.Mount(observer)
 		start := time.Now()
 		srv.SetDecisionHook(func(j core.Job, g *qos.Grant, err error, latency time.Duration) {
@@ -363,7 +446,7 @@ type telemetryConfig struct {
 // admission plane's observability surfaces: registry deltas, completed
 // spans, SLO objective state, the plane's headroom frontier, and the
 // utilization ledger.
-func serveTelemetry(observer *obs.Observer, ld *ledger.Ledger, plane *durable.Plane, eng *slo.Engine, cfg telemetryConfig) (*telemetry.Exporter, error) {
+func serveTelemetry(observer *obs.Observer, ld *ledger.Ledger, plane *durable.Plane, eng *slo.Engine, lp *latency.Plane, cfg telemetryConfig) (*telemetry.Exporter, error) {
 	const horizon = 1e6 // effectively unbounded frontier window
 	headroom := func() core.Headroom {
 		if f := plane.Fed(); f != nil {
@@ -387,6 +470,7 @@ func serveTelemetry(observer *obs.Observer, ld *ledger.Ledger, plane *durable.Pl
 		SLO:      eng,
 		Ledger:   ledgerFn,
 		Headroom: headroom,
+		Latency:  lp,
 	})
 	if err := exp.ListenAndServe(cfg.addr); err != nil {
 		return nil, err

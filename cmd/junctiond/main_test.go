@@ -79,7 +79,7 @@ func TestServeAdmissionRecoversGrants(t *testing.T) {
 	o := obs.New(obs.Config{})
 	cfg := admitConfig{dir: dir, addr: "127.0.0.1:0", sync: "always",
 		snapshotEvery: 64, procs: 8, shards: 1}
-	srv, plane, _, err := serveAdmission(o, cfg)
+	srv, plane, _, err := serveAdmission(o, nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestServeAdmissionRecoversGrants(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv2, plane2, _, err := serveAdmission(nil, cfg)
+	srv2, plane2, _, err := serveAdmission(nil, nil, cfg)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -121,7 +121,7 @@ func TestServeAdmissionRecoversGrants(t *testing.T) {
 }
 
 func TestServeAdmissionBadPolicy(t *testing.T) {
-	if _, _, _, err := serveAdmission(nil, admitConfig{dir: t.TempDir(), addr: "127.0.0.1:0",
+	if _, _, _, err := serveAdmission(nil, nil, admitConfig{dir: t.TempDir(), addr: "127.0.0.1:0",
 		sync: "sometimes", snapshotEvery: 64, procs: 4, shards: 1}); err == nil {
 		t.Fatal("bad sync policy accepted")
 	}

@@ -11,6 +11,7 @@ import (
 	"milan/internal/durable/vfs"
 	"milan/internal/fed"
 	"milan/internal/obs"
+	"milan/internal/obs/latency/phase"
 	"milan/internal/qos"
 	"milan/internal/resbroker"
 )
@@ -70,6 +71,11 @@ type Plane struct {
 
 	grants   map[int]GrantRecord
 	lastShed qos.ShedDecision
+	// rec is the in-flight latency record of the decision currently
+	// holding the plane lock (decisions are serialized, so one slot
+	// suffices); it lets the shedder-wrapped path reach the timer without
+	// widening the qos.Negotiator interface the shedder speaks.
+	rec *phase.Rec
 }
 
 // planeInner is the negotiator the shedder wraps: admission plus
@@ -77,7 +83,7 @@ type Plane struct {
 type planeInner struct{ p *Plane }
 
 func (pi planeInner) Negotiate(job core.Job) (*qos.Grant, error) {
-	return pi.p.negotiateLocked(job)
+	return pi.p.negotiateLocked(job, pi.p.rec)
 }
 
 // OpenPlane recovers (or creates) a durable plane from cfg.Dir.
@@ -258,16 +264,27 @@ func (p *Plane) Err() error {
 // storage, under SyncAlways); a failed append returns the append error
 // and poisons the plane instead of acknowledging.
 func (p *Plane) Negotiate(job core.Job) (*qos.Grant, error) {
+	return p.NegotiateTimed(job, nil)
+}
+
+// NegotiateTimed is Negotiate with latency-phase attribution (rec may be
+// nil): plane-lock acquisition counts as route, the wrapped arbitrator
+// attributes its own phases, and the WAL append before acknowledgment is
+// the journal phase.
+func (p *Plane) NegotiateTimed(job core.Job, lrec *phase.Rec) (*qos.Grant, error) {
 	p.mu.Lock()
+	lrec.Mark(phase.Route)
 	defer p.mu.Unlock()
 	if err := p.store.Poisoned(); err != nil {
 		return nil, fmt.Errorf("durable: plane poisoned, reopen required: %w", err)
 	}
 	if p.shed == nil {
-		return p.negotiateLocked(job)
+		return p.negotiateLocked(job, lrec)
 	}
 	p.lastShed = qos.ShedDecision{}
+	p.rec = lrec
 	g, err := p.shed.Negotiate(job)
+	p.rec = nil
 	if err != nil && errors.Is(err, qos.ErrShed) {
 		rec := &Record{
 			Kind: KindShed, JobID: job.ID,
@@ -277,18 +294,19 @@ func (p *Plane) Negotiate(job core.Job) (*qos.Grant, error) {
 		if _, aerr := p.store.Append(rec); aerr != nil {
 			return nil, aerr
 		}
+		lrec.Mark(phase.Journal)
 		p.maybeSnapshotLocked()
 	}
 	return g, err
 }
 
-func (p *Plane) negotiateLocked(job core.Job) (*qos.Grant, error) {
+func (p *Plane) negotiateLocked(job core.Job, lrec *phase.Rec) (*qos.Grant, error) {
 	var g *qos.Grant
 	var err error
 	if p.mono != nil {
-		g, err = p.mono.Negotiate(job)
+		g, err = p.mono.NegotiateTimed(job, lrec)
 	} else {
-		g, err = p.fed.Negotiate(job)
+		g, err = p.fed.NegotiateTimed(job, lrec)
 	}
 	if err != nil {
 		if errors.Is(err, qos.ErrRejected) {
@@ -299,6 +317,7 @@ func (p *Plane) negotiateLocked(job core.Job) (*qos.Grant, error) {
 			if _, aerr := p.store.Append(rec); aerr != nil {
 				return nil, aerr
 			}
+			lrec.Mark(phase.Journal)
 			p.maybeSnapshotLocked()
 		}
 		return nil, err
@@ -313,6 +332,7 @@ func (p *Plane) negotiateLocked(job core.Job) (*qos.Grant, error) {
 	if _, aerr := p.store.Append(rec); aerr != nil {
 		return nil, fmt.Errorf("durable: grant %d committed in memory but not journaled (plane poisoned, reopen required): %w", g.JobID, aerr)
 	}
+	lrec.Mark(phase.Journal)
 	p.grants[g.JobID] = GrantRecord{
 		JobID: g.JobID, Shard: g.Shard, Chain: g.Chain,
 		Quality: g.Quality, Tunable: job.Tunable(),

@@ -1,0 +1,47 @@
+package fed
+
+import (
+	"testing"
+
+	"milan/internal/core"
+	"milan/internal/obs"
+	"milan/internal/obs/latency"
+)
+
+// Latency-plane overhead benchmarks: the phase timers ride the hottest
+// path in the system, so the acceptance bar is explicit — recording on
+// must cost <= 5% ns/op and ZERO extra allocs/op over recording off on
+// the 8-shard plane, and recording off (nil record through
+// NegotiateTimed, the plane-unset production configuration) must match
+// the plain Negotiate path it wraps.  Both land in
+// BENCH_trajectory.jsonl under the benchdiff gate.
+
+// BenchmarkShardedAdmitLatencyOff is the nil-record contract: the
+// boundary calls NegotiateTimed with no latency plane configured, so
+// every Mark must be a nil-receiver no-op.
+func BenchmarkShardedAdmitLatencyOff(b *testing.B) {
+	b.Run("shards=8", func(b *testing.B) {
+		plane := benchPlane(b, 8, nil)
+		admitLoop(b,
+			func(j core.Job) error { _, err := plane.NegotiateTimed(j, nil); return err },
+			plane.Observe)
+	})
+}
+
+// BenchmarkShardedAdmitLatencyOn runs the full record lifecycle the
+// qosnet boundary runs: Start, phase marks inside the arbitrator, End
+// into the histograms and the exemplar ring.
+func BenchmarkShardedAdmitLatencyOn(b *testing.B) {
+	b.Run("shards=8", func(b *testing.B) {
+		plane := benchPlane(b, 8, nil)
+		lp := latency.New(latency.Config{Registry: obs.NewRegistry()})
+		admitLoop(b,
+			func(j core.Job) error {
+				rec := lp.Start(0, int64(j.ID))
+				_, err := plane.NegotiateTimed(j, &rec)
+				rec.End()
+				return err
+			},
+			plane.Observe)
+	})
+}

@@ -31,6 +31,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency/phase"
 	"milan/internal/obs/ledger"
 	"milan/internal/qos"
 )
@@ -317,6 +318,16 @@ type probeResult struct {
 // concurrent mutation and the re-admission is rejected.  Returns the grant
 // or qos.ErrRejected.
 func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
+	return a.NegotiateTimed(job, nil)
+}
+
+// NegotiateTimed is Negotiate with latency-phase attribution (rec may be
+// nil): candidate selection is route, planning probes are probe, and the
+// winning commit is reserve.  A commit attempt that loses its version
+// race is attributed to probe — the capacity the probe saw was stale, so
+// race retries surface as probe-phase inflation, which is exactly the
+// contention signal the regression sentinel watches for.
+func (a *Arbitrator) NegotiateTimed(job core.Job, rec *phase.Rec) (*qos.Grant, error) {
 	if err := job.Validate(); err != nil {
 		return nil, fmt.Errorf("fed: negotiate: %w", err)
 	}
@@ -336,6 +347,7 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 		route = t.Start(obs.TraceID(job.Trace), obs.SpanID(job.Span), "fed.route", obs.StageRoute, job.ID)
 	}
 	cands := a.candidates()
+	rec.Mark(phase.Route)
 	probes := make([]probeResult, 0, len(cands))
 	for _, ci := range cands {
 		sh := a.shards[ci]
@@ -360,6 +372,7 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 	if a.metrics != nil {
 		a.metrics.Probes.Add(int64(len(cands)))
 	}
+	rec.Mark(phase.Probe)
 	if len(probes) == 0 {
 		// No shard can schedule any chain.  Mirror the monolith's
 		// rejection bookkeeping on the least-loaded candidate (each
@@ -400,7 +413,10 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 		if err != nil {
 			// The capacity the probe saw is gone; the raced re-admission
 			// already recorded the rejection on that shard.  Try the next
-			// best probe.
+			// best probe.  The wasted attempt is probe time: stale probes
+			// are the cause, and the sentinel should see races inflate the
+			// probe phase, not the reserve phase.
+			rec.Mark(phase.Probe)
 			if t != nil {
 				rs.SetErr("commit-race")
 				rs.End()
@@ -416,6 +432,8 @@ func (a *Arbitrator) Negotiate(job core.Job) (*qos.Grant, error) {
 			Trace:     job.Trace,
 			Shard:     pr.shard.ID(),
 		}
+		rec.Mark(phase.Reserve)
+		rec.SetShard(pr.shard.ID())
 		if t != nil {
 			rs.SetAttr("start", pl.Start())
 			rs.SetAttr("finish", pl.Finish())

@@ -1,0 +1,89 @@
+package latency
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Envelope is the committed baseline the regression sentinel compares
+// live latency against: per-phase and end-to-end budgets in nanoseconds.
+// A zero budget disarms that comparison.  The canonical way to build one
+// is EnvelopeFromTrajectory, which derives budgets from the repo's
+// committed benchmark trajectory (BENCH_trajectory.jsonl) so "regression"
+// always means "worse than what we shipped", not a hand-tuned constant.
+type Envelope struct {
+	// E2E is the end-to-end admission budget in nanoseconds.
+	E2E int64 `json:"e2e_ns"`
+	// Phase holds per-phase budgets in PhaseNames order.
+	Phase [NumPhases]int64 `json:"phase_ns"`
+}
+
+// Uniform returns an envelope with every budget (per-phase and e2e) set
+// to d: any single phase exceeding the whole budget is a regression.
+func Uniform(d time.Duration) Envelope {
+	var env Envelope
+	env.E2E = int64(d)
+	for i := range env.Phase {
+		env.Phase[i] = int64(d)
+	}
+	return env
+}
+
+// trajectoryRow mirrors cmd/benchdiff's row schema: p99 is optional and
+// decodes as -1 when absent (no phantom budget).
+type trajectoryRow struct {
+	Name      string   `json:"name"`
+	NsPerOp   float64  `json:"ns_per_op"`
+	P99NsPerOp *float64 `json:"p99_ns_per_op"`
+}
+
+// EnvelopeFromTrajectory derives a baseline envelope from the latest
+// trajectory row whose benchmark name contains match: the budget is the
+// row's p99 when recorded (falling back to mean ns/op) times slack.
+// Every phase gets the full budget — a single phase consuming more than
+// the whole committed envelope is the regression signal.
+func EnvelopeFromTrajectory(path, match string, slack float64) (Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Envelope{}, err
+	}
+	defer f.Close()
+	if slack <= 0 {
+		slack = 1
+	}
+	var last *trajectoryRow
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var row trajectoryRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return Envelope{}, fmt.Errorf("latency: bad trajectory row: %w", err)
+		}
+		if strings.Contains(row.Name, match) {
+			r := row
+			last = &r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Envelope{}, err
+	}
+	if last == nil {
+		return Envelope{}, fmt.Errorf("latency: no trajectory row matches %q in %s", match, path)
+	}
+	base := last.NsPerOp
+	if last.P99NsPerOp != nil && *last.P99NsPerOp > 0 {
+		base = *last.P99NsPerOp
+	}
+	if base <= 0 {
+		return Envelope{}, fmt.Errorf("latency: trajectory row %q has no usable latency", last.Name)
+	}
+	return Uniform(time.Duration(base * slack)), nil
+}

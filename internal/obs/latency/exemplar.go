@@ -1,0 +1,147 @@
+package latency
+
+import (
+	"milan/internal/obs/latency/phase"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar is one tail request's identity and phase waterfall: which
+// trace was slow, where its time went, when.  It carries no pointers or
+// strings so offering one to the ring never allocates.
+type Exemplar struct {
+	// Trace is the request's trace ID (0 when tracing sampled it out —
+	// the waterfall still identifies the phase anatomy).
+	Trace uint64 `json:"trace,string"`
+	// Job is the admitted (or rejected) job ID.
+	Job int64 `json:"job"`
+	// Shard is the shard that decided the request (-1 for monolith).
+	Shard int32 `json:"shard"`
+	// Total is the end-to-end latency in nanoseconds.
+	Total int64 `json:"total_ns"`
+	// Durs is the per-phase waterfall in nanoseconds, PhaseNames order.
+	Durs [NumPhases]int64 `json:"phase_ns"`
+	// At is the wall-clock completion time in unix seconds.
+	At float64 `json:"at"`
+}
+
+// exemplarRing keeps the top-K slowest requests of the current window
+// plus the previous window's winners.  An atomic threshold (the current
+// window's K-th slowest total, once full) lets the hot path skip the
+// mutex for every request that cannot possibly place.
+type exemplarRing struct {
+	k        int
+	windowNs int64
+
+	threshold atomic.Int64 // below this total, offer is a no-op
+
+	mu       sync.Mutex
+	curStart int64 // monotonic ns of the current window's start
+	cur      []Exemplar
+	prev     []Exemplar
+}
+
+const (
+	defaultExemplarK = 8
+	defaultWindow    = 10 * time.Second
+)
+
+func (x *exemplarRing) init(k int, window time.Duration) {
+	if k < 1 {
+		k = defaultExemplarK
+	}
+	if window <= 0 {
+		window = defaultWindow
+	}
+	x.k = k
+	x.windowNs = int64(window)
+	x.cur = make([]Exemplar, 0, k)
+	x.prev = make([]Exemplar, 0, k)
+	x.curStart = phase.NowNanos()
+}
+
+// offer places e into the current window's top-K if it is slow enough.
+// The atomic threshold check makes the common (fast-request) path
+// lock-free.
+func (x *exemplarRing) offer(e Exemplar) {
+	if e.Total < x.threshold.Load() {
+		return
+	}
+	now := phase.NowNanos()
+	x.mu.Lock()
+	x.rotateLocked(now)
+	if len(x.cur) < x.k {
+		x.cur = append(x.cur, e)
+		if len(x.cur) == x.k {
+			x.threshold.Store(x.minLocked())
+		}
+	} else {
+		mi := 0
+		for i := 1; i < len(x.cur); i++ {
+			if x.cur[i].Total < x.cur[mi].Total {
+				mi = i
+			}
+		}
+		if e.Total > x.cur[mi].Total {
+			x.cur[mi] = e
+			x.threshold.Store(x.minLocked())
+		}
+	}
+	x.mu.Unlock()
+}
+
+// rotateLocked retires the current window when it has elapsed.  After a
+// long quiet gap both windows age out.
+func (x *exemplarRing) rotateLocked(now int64) {
+	if now-x.curStart < x.windowNs {
+		return
+	}
+	if now-x.curStart >= 2*x.windowNs {
+		x.prev = x.prev[:0]
+	} else {
+		x.prev = append(x.prev[:0], x.cur...)
+	}
+	x.cur = x.cur[:0]
+	x.curStart = now
+	x.threshold.Store(0)
+}
+
+func (x *exemplarRing) minLocked() int64 {
+	m := x.cur[0].Total
+	for _, e := range x.cur[1:] {
+		if e.Total < m {
+			m = e.Total
+		}
+	}
+	return m
+}
+
+// topK returns current + previous window exemplars, slowest first,
+// bounded by 2K.
+func (x *exemplarRing) topK() []Exemplar {
+	now := phase.NowNanos()
+	x.mu.Lock()
+	x.rotateLocked(now)
+	out := make([]Exemplar, 0, len(x.cur)+len(x.prev))
+	out = append(out, x.cur...)
+	out = append(out, x.prev...)
+	x.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// MergeTopK folds several exemplar sets into the k slowest overall
+// (slowest first) — the cluster-wide view milanmon serves.
+func MergeTopK(k int, sets ...[]Exemplar) []Exemplar {
+	var all []Exemplar
+	for _, s := range sets {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,99 @@
+package latency
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"milan/internal/obs"
+)
+
+// PhaseView is one phase's rendered summary on the /latency surface.
+type PhaseView struct {
+	Count    int64   `json:"count"`
+	MeanNs   float64 `json:"mean_ns"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+	BudgetNs int64   `json:"budget_ns,omitempty"`
+	Total    int64   `json:"total,omitempty"`
+	Over     int64   `json:"over,omitempty"`
+}
+
+// View is the JSON shape of the /latency endpoint.
+type View struct {
+	Phases    map[string]PhaseView `json:"phases"`
+	Envelope  Envelope             `json:"envelope"`
+	Exemplars []Exemplar           `json:"exemplars"`
+}
+
+// View renders the plane's current state (nil plane: zero view).
+func (p *Plane) View() View {
+	v := View{Phases: map[string]PhaseView{}}
+	if p == nil {
+		return v
+	}
+	names := PhaseNames()
+	render := func(h *obs.Hist, idx int) PhaseView {
+		s := h.Snapshot()
+		return PhaseView{
+			Count:    s.Count,
+			MeanNs:   s.Mean(),
+			P50Ns:    s.Quantile(0.50),
+			P99Ns:    s.Quantile(0.99),
+			BudgetNs: p.budget[idx].Load(),
+			Total:    p.total[idx].Load(),
+			Over:     p.over[idx].Load(),
+		}
+	}
+	for i := 0; i < NumPhases; i++ {
+		v.Phases[names[i]] = render(p.phases[i], i)
+	}
+	v.Phases["e2e"] = render(p.e2e, NumPhases)
+	v.Envelope = p.Envelope()
+	v.Exemplars = p.TopK()
+	return v
+}
+
+// Handler serves the latency anatomy: JSON by default, the Prometheus
+// text exposition with exemplar annotations under ?format=prom.
+func (p *Plane) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if obs.WantsProm(req) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			WriteProm(w, p.View())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p.View())
+	}
+}
+
+// WriteProm renders a latency view as Prometheus/OpenMetrics-style text:
+// one summary family per phase plus exemplar annotations (`# {trace_id=
+// "..."} value timestamp` after the e2e samples, the OpenMetrics
+// exemplar syntax) so a scraper — or a human — can jump from a tail
+// bucket straight to the offending trace.
+func WriteProm(w io.Writer, v View) {
+	names := make([]string, 0, len(v.Phases))
+	for n := range v.Phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP latency_phase_p99_ns Per-phase p99 admission latency, nanoseconds.\n# TYPE latency_phase_p99_ns gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "latency_phase_p99_ns{phase=%q} %s\n", n, obs.PromFloat(v.Phases[n].P99Ns))
+	}
+	fmt.Fprintf(w, "# HELP latency_phase_over_total Admissions exceeding the phase envelope budget.\n# TYPE latency_phase_over_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "latency_phase_over_total{phase=%q} %d\n", n, v.Phases[n].Over)
+	}
+	fmt.Fprintf(w, "# HELP latency_exemplar_ns Slowest recent admissions with trace identity.\n# TYPE latency_exemplar_ns gauge\n")
+	for i, e := range v.Exemplars {
+		fmt.Fprintf(w, "latency_exemplar_ns{rank=\"%d\"} %d # {trace_id=\"%016x\",job=\"%d\",shard=\"%d\"} %d %.3f\n",
+			i, e.Total, e.Trace, e.Job, e.Shard, e.Total, e.At)
+	}
+}

@@ -1,0 +1,237 @@
+// Package latency is the admission latency anatomy plane: it times every
+// admission through its phases (route → probe → plan → reserve → journal
+// → ack) with cheap monotonic timers that work even when span tracing is
+// sampled out, records per-phase and end-to-end log-linear histograms
+// into the mergeable obs.Registry, and captures tail exemplars — the
+// trace IDs and phase waterfalls of the slowest requests per window —
+// into a bounded ring.
+//
+// The phase timer itself (Rec) lives in the dependency-free subpackage
+// internal/obs/latency/phase so the admission stack (qos, fed, durable)
+// can mark phases without importing the registry; this package aliases
+// its types, so callers that can see obs use latency.Rec and
+// latency.PhaseRoute directly.
+//
+// The plane follows the codebase's zero-cost observability contract: a
+// nil *Plane produces inert Recs whose methods are no-ops, so an
+// uninstrumented admission path pays nothing.  With the plane attached,
+// the hot path is lock-free: histogram observes are atomic, and the
+// exemplar ring is guarded by an atomic slowness threshold so only
+// genuine tail requests take its mutex.
+package latency
+
+import (
+	"sync/atomic"
+	"time"
+
+	"milan/internal/obs"
+	"milan/internal/obs/latency/phase"
+)
+
+// Phase and Rec alias the leaf package's types: one type, two import
+// paths, so qos.TimedNegotiator and this plane agree exactly.
+type (
+	Phase = phase.Phase
+	Rec   = phase.Rec
+)
+
+// Phase constants re-exported under this package's naming.
+const (
+	PhaseRoute   = phase.Route
+	PhaseProbe   = phase.Probe
+	PhasePlan    = phase.Plan
+	PhaseReserve = phase.Reserve
+	PhaseJournal = phase.Journal
+	PhaseAck     = phase.Ack
+
+	// NumPhases is the number of phases (array sizing).
+	NumPhases = phase.Num
+)
+
+// PhaseNames returns the phase names in waterfall order.
+func PhaseNames() [NumPhases]string { return phase.Names() }
+
+// ParsePhase maps a phase name back to its index (-1 if unknown).
+func ParsePhase(name string) int { return phase.Parse(name) }
+
+// Histogram shape: log-linear from 2^8 ns (256ns) over 25 octaves
+// (~8.6s) with 8 sub-buckets per octave — 200 buckets, ≤12.5% relative
+// width across the whole span.
+const (
+	histOct0    = 8
+	histOctaves = 25
+	histSub     = 8
+)
+
+// Config tunes one Plane.
+type Config struct {
+	// Registry receives the phase histograms (required).
+	Registry *obs.Registry
+	// ExemplarK bounds the slowest-requests ring per window (default 8).
+	ExemplarK int
+	// Window is the exemplar rotation period (default 10s): TopK serves
+	// the current plus the previous window.
+	Window time.Duration
+	// Envelope is the committed baseline envelope the regression
+	// sentinel compares against (zero value: sentinel disabled).
+	Envelope Envelope
+}
+
+// Plane owns the admission latency instruments.  A nil *Plane is valid
+// and free: Start returns an inert Rec.
+type Plane struct {
+	reg    *obs.Registry
+	e2e    *obs.Hist
+	phases [NumPhases]*obs.Hist
+
+	// Envelope comparison state: budgets are atomic so the sentinel can
+	// be armed/retuned at runtime; total/over are cumulative counters the
+	// slo engine diffs into its burn windows.  Index NumPhases is the
+	// end-to-end envelope.
+	budget [NumPhases + 1]atomic.Int64
+	total  [NumPhases + 1]atomic.Int64
+	over   [NumPhases + 1]atomic.Int64
+
+	// Injected per-phase slowdown (test hook for the regression
+	// sentinel's CI smoke): added to the phase at End.
+	slowdown [NumPhases]atomic.Int64
+
+	ex exemplarRing
+}
+
+// New builds a latency plane and registers its histograms.
+func New(cfg Config) *Plane {
+	if cfg.Registry == nil {
+		panic("latency: Config.Registry is required")
+	}
+	p := &Plane{reg: cfg.Registry}
+	names := phase.Names()
+	p.e2e = cfg.Registry.HistogramLogLinear("latency_admit_ns", histOct0, histOctaves, histSub)
+	cfg.Registry.Describe("latency_admit_ns", "End-to-end admission latency in nanoseconds (all phases).")
+	for i := 0; i < NumPhases; i++ {
+		name := "latency_phase_" + names[i] + "_ns"
+		p.phases[i] = cfg.Registry.HistogramLogLinear(name, histOct0, histOctaves, histSub)
+		cfg.Registry.Describe(name, "Admission time spent in the "+names[i]+" phase, nanoseconds.")
+	}
+	p.ex.init(cfg.ExemplarK, cfg.Window)
+	p.SetEnvelope(cfg.Envelope)
+	return p
+}
+
+// SetEnvelope installs (or clears, with the zero value) the regression
+// envelope at runtime.
+func (p *Plane) SetEnvelope(env Envelope) {
+	if p == nil {
+		return
+	}
+	for i := 0; i < NumPhases; i++ {
+		p.budget[i].Store(env.Phase[i])
+	}
+	p.budget[NumPhases].Store(env.E2E)
+}
+
+// Envelope returns the currently armed envelope.
+func (p *Plane) Envelope() Envelope {
+	var env Envelope
+	if p == nil {
+		return env
+	}
+	for i := 0; i < NumPhases; i++ {
+		env.Phase[i] = p.budget[i].Load()
+	}
+	env.E2E = p.budget[NumPhases].Load()
+	return env
+}
+
+// InjectSlowdown arms the test hook: every subsequent admission's given
+// phase is inflated by d (pass 0 to disarm).  Used by the CI smoke to
+// prove the regression sentinel trips and names the right phase.
+func (p *Plane) InjectSlowdown(ph Phase, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.slowdown[ph].Store(int64(d))
+}
+
+// PhaseCount is one phase's cumulative envelope accounting: how many
+// admissions were timed and how many exceeded the phase budget.  The
+// sentinel (slo.Engine) diffs consecutive reads into burn windows.
+type PhaseCount struct {
+	Name  string
+	Total int64
+	Over  int64
+}
+
+// RegressionCounts returns cumulative per-phase plus end-to-end ("e2e")
+// envelope counters.  Phases with no armed budget are omitted.  Nil
+// plane: nil.
+func (p *Plane) RegressionCounts() []PhaseCount {
+	if p == nil {
+		return nil
+	}
+	names := phase.Names()
+	out := make([]PhaseCount, 0, NumPhases+1)
+	for i := 0; i < NumPhases; i++ {
+		if p.budget[i].Load() <= 0 {
+			continue
+		}
+		out = append(out, PhaseCount{Name: names[i], Total: p.total[i].Load(), Over: p.over[i].Load()})
+	}
+	if p.budget[NumPhases].Load() > 0 {
+		out = append(out, PhaseCount{Name: "e2e", Total: p.total[NumPhases].Load(), Over: p.over[NumPhases].Load()})
+	}
+	return out
+}
+
+// Start opens a timing record for one admission.  trace may be 0 when
+// span tracing sampled the request out — phase timing works regardless.
+func (p *Plane) Start(trace uint64, job int64) Rec {
+	if p == nil {
+		return Rec{}
+	}
+	return phase.Start(p, trace, job)
+}
+
+// Done consumes a finished record (phase.Sink): histograms and envelope
+// counters update, and the request is offered to the exemplar ring if it
+// is slow enough.
+func (p *Plane) Done(trace uint64, job int64, shard int32, total int64, durs [NumPhases]int64, endMono int64) {
+	for i := 0; i < NumPhases; i++ {
+		if d := p.slowdown[i].Load(); d > 0 {
+			durs[i] += d
+			total += d
+		}
+	}
+	p.e2e.Observe(float64(total))
+	p.total[NumPhases].Add(1)
+	if b := p.budget[NumPhases].Load(); b > 0 && total > b {
+		p.over[NumPhases].Add(1)
+	}
+	for i := 0; i < NumPhases; i++ {
+		d := durs[i]
+		if d > 0 {
+			p.phases[i].Observe(float64(d))
+		}
+		p.total[i].Add(1)
+		if b := p.budget[i].Load(); b > 0 && d > b {
+			p.over[i].Add(1)
+		}
+	}
+	p.ex.offer(Exemplar{
+		Trace: trace,
+		Job:   job,
+		Shard: shard,
+		Total: total,
+		Durs:  durs,
+		At:    phase.WallAt(endMono),
+	})
+}
+
+// TopK returns the slowest exemplars across the current and previous
+// windows, slowest first.
+func (p *Plane) TopK() []Exemplar {
+	if p == nil {
+		return nil
+	}
+	return p.ex.topK()
+}

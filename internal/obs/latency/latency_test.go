@@ -1,0 +1,207 @@
+package latency
+
+import (
+	"testing"
+	"time"
+
+	"milan/internal/obs"
+)
+
+func testPlane(t *testing.T, cfg Config) *Plane {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return New(cfg)
+}
+
+func drive(p *Plane, total int64, durs [NumPhases]int64) {
+	p.Done(1, 1, 0, total, durs, 0)
+}
+
+func TestPlaneRecordsHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := testPlane(t, Config{Registry: reg})
+	rec := p.Start(7, 42)
+	time.Sleep(time.Millisecond)
+	rec.Mark(PhaseRoute)
+	rec.End()
+
+	s := reg.Snapshot()
+	if h, ok := s.Histograms["latency_admit_ns"]; !ok || h.Count != 1 {
+		t.Fatalf("e2e histogram = %+v", s.Histograms["latency_admit_ns"])
+	}
+	if h, ok := s.Histograms["latency_phase_route_ns"]; !ok || h.Count != 1 {
+		t.Fatalf("route histogram = %+v", s.Histograms["latency_phase_route_ns"])
+	}
+	// Unmarked phases record nothing.
+	if h := s.Histograms["latency_phase_journal_ns"]; h.Count != 0 {
+		t.Fatalf("journal histogram unexpectedly fed: %+v", h)
+	}
+}
+
+func TestRegressionCountsEnvelope(t *testing.T) {
+	env := Envelope{E2E: 1000}
+	env.Phase[PhaseProbe] = 500
+	p := testPlane(t, Config{Envelope: env})
+
+	var fast [NumPhases]int64
+	fast[PhaseProbe] = 100
+	drive(p, 400, fast)
+	var slow [NumPhases]int64
+	slow[PhaseProbe] = 900 // over the probe budget
+	drive(p, 950, slow)    // e2e under budget
+	var slowAll [NumPhases]int64
+	slowAll[PhaseProbe] = 2000
+	drive(p, 2500, slowAll) // over both
+
+	counts := p.RegressionCounts()
+	// Only armed phases appear: probe plus e2e.
+	if len(counts) != 2 {
+		t.Fatalf("counts = %+v, want probe and e2e only", counts)
+	}
+	byName := map[string]PhaseCount{}
+	for _, c := range counts {
+		byName[c.Name] = c
+	}
+	if c := byName["probe"]; c.Total != 3 || c.Over != 2 {
+		t.Fatalf("probe counts = %+v", c)
+	}
+	if c := byName["e2e"]; c.Total != 3 || c.Over != 1 {
+		t.Fatalf("e2e counts = %+v", c)
+	}
+
+	// Clearing the envelope disarms the sentinel entirely.
+	p.SetEnvelope(Envelope{})
+	if counts := p.RegressionCounts(); len(counts) != 0 {
+		t.Fatalf("disarmed plane still reports %+v", counts)
+	}
+}
+
+func TestInjectSlowdownNamesPhase(t *testing.T) {
+	reg := obs.NewRegistry()
+	env := Uniform(time.Millisecond)
+	p := testPlane(t, Config{Registry: reg, Envelope: env})
+	p.InjectSlowdown(PhaseProbe, 50*time.Millisecond)
+
+	rec := p.Start(1, 1)
+	rec.Mark(PhaseRoute)
+	rec.End()
+
+	byName := map[string]PhaseCount{}
+	for _, c := range p.RegressionCounts() {
+		byName[c.Name] = c
+	}
+	if c := byName["probe"]; c.Over != 1 {
+		t.Fatalf("injected probe slowdown not counted over budget: %+v", byName)
+	}
+	if c := byName["route"]; c.Over != 0 {
+		t.Fatalf("slowdown bled into route: %+v", byName)
+	}
+	// The inflated probe duration is visible in the histogram and the
+	// exemplar waterfall (the smoke asserts the same end-to-end).
+	if h := reg.Snapshot().Histograms["latency_phase_probe_ns"]; h.Count != 1 || h.Sum < 5e7 {
+		t.Fatalf("probe histogram = %+v", h)
+	}
+	top := p.TopK()
+	if len(top) == 0 || top[0].Durs[PhaseProbe] < 5e7 {
+		t.Fatalf("exemplar waterfall missing the injected probe time: %+v", top)
+	}
+
+	// Disarm: the next admission is clean.
+	p.InjectSlowdown(PhaseProbe, 0)
+	rec = p.Start(1, 2)
+	rec.End()
+	if c := map[string]PhaseCount{}; true {
+		for _, pc := range p.RegressionCounts() {
+			c[pc.Name] = pc
+		}
+		if c["probe"].Over != 1 {
+			t.Fatalf("disarmed slowdown still inflating: %+v", c)
+		}
+	}
+}
+
+// Nil-plane contract: the whole lifecycle is inert and allocation-free.
+func TestNilPlaneZeroCost(t *testing.T) {
+	var p *Plane
+	p.SetEnvelope(Uniform(time.Second))
+	p.InjectSlowdown(PhaseProbe, time.Second)
+	if p.RegressionCounts() != nil || p.TopK() != nil {
+		t.Fatal("nil plane returned state")
+	}
+	if p.Envelope() != (Envelope{}) {
+		t.Fatal("nil plane returned an envelope")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec := p.Start(1, 2)
+		rec.Mark(PhaseRoute)
+		rec.Mark(PhasePlan)
+		rec.SetShard(1)
+		rec.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil plane lifecycle allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestExemplarRingTopK(t *testing.T) {
+	p := testPlane(t, Config{ExemplarK: 4})
+	for i := int64(1); i <= 10; i++ {
+		var durs [NumPhases]int64
+		durs[PhaseAck] = i * 100
+		p.Done(uint64(i), i, 0, i*100, durs, 0)
+	}
+	top := p.TopK()
+	if len(top) != 4 {
+		t.Fatalf("topK returned %d exemplars, want 4", len(top))
+	}
+	// Slowest first: totals 1000, 900, 800, 700.
+	for i, want := range []int64{1000, 900, 800, 700} {
+		if top[i].Total != want {
+			t.Fatalf("topK[%d].Total = %d, want %d (%+v)", i, top[i].Total, want, top)
+		}
+	}
+	// A fast request cannot displace the ring once the threshold is up.
+	var durs [NumPhases]int64
+	durs[PhaseAck] = 50
+	p.Done(99, 99, 0, 50, durs, 0)
+	if got := p.TopK(); got[len(got)-1].Total < 700 {
+		t.Fatalf("fast request displaced a tail exemplar: %+v", got)
+	}
+}
+
+func TestExemplarWindowRotation(t *testing.T) {
+	p := testPlane(t, Config{ExemplarK: 2, Window: 30 * time.Millisecond})
+	var durs [NumPhases]int64
+	durs[PhaseAck] = 1000
+	p.Done(1, 1, 0, 1000, durs, 0)
+	time.Sleep(40 * time.Millisecond)
+	// Rotation keeps the previous window's winners visible...
+	durs[PhaseAck] = 500
+	p.Done(2, 2, 0, 500, durs, 0)
+	top := p.TopK()
+	if len(top) != 2 || top[0].Total != 1000 || top[1].Total != 500 {
+		t.Fatalf("current+previous windows = %+v", top)
+	}
+	// ...and a long quiet gap ages both out.
+	time.Sleep(70 * time.Millisecond)
+	durs[PhaseAck] = 100
+	p.Done(3, 3, 0, 100, durs, 0)
+	top = p.TopK()
+	if len(top) != 1 || top[0].Total != 100 {
+		t.Fatalf("stale exemplars survived a double-window gap: %+v", top)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a := []Exemplar{{Trace: 1, Total: 900}, {Trace: 2, Total: 100}}
+	b := []Exemplar{{Trace: 3, Total: 500}, {Trace: 4, Total: 1000}}
+	got := MergeTopK(3, a, b)
+	if len(got) != 3 || got[0].Trace != 4 || got[1].Trace != 1 || got[2].Trace != 3 {
+		t.Fatalf("MergeTopK = %+v", got)
+	}
+	if all := MergeTopK(0, a, b); len(all) != 4 {
+		t.Fatalf("k=0 should keep everything, got %d", len(all))
+	}
+}

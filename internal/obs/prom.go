@@ -59,11 +59,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 		// Prometheus buckets are cumulative from -Inf; observations below
 		// the histogram's range fold into the first bucket's count.
-		width := (h.Hi - h.Lo) / float64(len(h.Buckets))
 		cum := h.Under
 		for i, c := range h.Buckets {
 			cum += c
-			le := h.Lo + float64(i+1)*width
+			le := h.BucketUpper(i)
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, PromEscapeLabel(promFloat(le)), cum); err != nil {
 				return err
 			}

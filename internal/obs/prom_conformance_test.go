@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file pins the Prometheus text-exposition contract for histogram
+// families: buckets are CUMULATIVE counts over strictly-increasing `le`
+// bounds, the mandatory `le="+Inf"` bucket equals the total observation
+// count (so out-of-range observations are not silently dropped from the
+// series a scraper integrates), and every family carries _sum and _count
+// with _count == the +Inf bucket.  A scraper that trusts these
+// invariants computes correct quantiles; break any of them and
+// histogram_quantile() silently lies.
+
+var promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// promHistFamily is one parsed _bucket/_sum/_count family keyed by the
+// full label set minus `le` (so per-node series validate independently).
+type promHistFamily struct {
+	les    []float64
+	cums   []int64
+	sum    float64
+	count  int64
+	hasSum bool
+	hasCnt bool
+}
+
+// parsePromText scans an exposition, enforcing line-level conformance
+// (every sample parses, every family has HELP+TYPE before its first
+// sample) and collecting histogram families for bucket validation.
+func parsePromText(t *testing.T, text string) map[string]*promHistFamily {
+	t.Helper()
+	typed := make(map[string]string) // family name -> TYPE
+	helped := make(map[string]bool)
+	hists := make(map[string]*promHistFamily)
+	histFamily := func(base, labels string) *promHistFamily {
+		key := base + "|" + labels
+		f, ok := hists[key]
+		if !ok {
+			f = &promHistFamily{}
+			hists[key] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[3] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helped[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid TYPE %q", ln+1, fields[3])
+			}
+			if !helped[fields[2]] {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, fields[2])
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: unparseable sample: %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE header", ln+1, name)
+		}
+		if typed[family] != "histogram" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+				t.Fatalf("line %d: bad sample value %q", ln+1, value)
+			}
+			continue
+		}
+		// Histogram sample: route by suffix, separating le from the rest
+		// of the label set.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, rest := splitLE(t, ln+1, labels)
+			f := histFamily(family, rest)
+			f.les = append(f.les, le)
+			c, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket count %q not an integer", ln+1, value)
+			}
+			f.cums = append(f.cums, c)
+		case strings.HasSuffix(name, "_sum"):
+			f := histFamily(family, labels)
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatalf("line %d: _sum %q not a float", ln+1, value)
+			}
+			f.sum, f.hasSum = v, true
+		case strings.HasSuffix(name, "_count"):
+			f := histFamily(family, labels)
+			c, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: _count %q not an integer", ln+1, value)
+			}
+			f.count, f.hasCnt = c, true
+		default:
+			t.Fatalf("line %d: bare sample %s under histogram TYPE", ln+1, name)
+		}
+	}
+	return hists
+}
+
+// splitLE extracts the le label value and returns the remaining labels
+// (sorted, brace-stripped) as the family key.
+func splitLE(t *testing.T, ln int, labels string) (float64, string) {
+	t.Helper()
+	if labels == "" {
+		t.Fatalf("line %d: _bucket without le label", ln)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var rest []string
+	le := math.NaN()
+	for _, kv := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			t.Fatalf("line %d: malformed label %q", ln, kv)
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			if v == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("line %d: le=%q not a float", ln, v)
+				}
+				le = f
+			}
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	if math.IsNaN(le) {
+		t.Fatalf("line %d: _bucket labels %q carry no le", ln, labels)
+	}
+	sort.Strings(rest)
+	return le, strings.Join(rest, ",")
+}
+
+// checkHistConformance asserts the cumulative-bucket contract on every
+// parsed histogram family.
+func checkHistConformance(t *testing.T, hists map[string]*promHistFamily) {
+	t.Helper()
+	if len(hists) == 0 {
+		t.Fatal("no histogram families parsed")
+	}
+	for key, f := range hists {
+		if !f.hasSum || !f.hasCnt {
+			t.Errorf("%s: missing _sum or _count", key)
+			continue
+		}
+		if len(f.les) == 0 {
+			t.Errorf("%s: no buckets", key)
+			continue
+		}
+		last := f.les[len(f.les)-1]
+		if !math.IsInf(last, 1) {
+			t.Errorf("%s: final bucket le=%v, want +Inf", key, last)
+		}
+		for i := 1; i < len(f.les); i++ {
+			if !(f.les[i] > f.les[i-1]) {
+				t.Errorf("%s: le not strictly increasing at %d: %v then %v", key, i, f.les[i-1], f.les[i])
+			}
+			if f.cums[i] < f.cums[i-1] {
+				t.Errorf("%s: cumulative count decreased at le=%v: %d then %d", key, f.les[i], f.cums[i-1], f.cums[i])
+			}
+		}
+		if inf := f.cums[len(f.cums)-1]; inf != f.count {
+			t.Errorf("%s: +Inf bucket %d != _count %d", key, inf, f.count)
+		}
+	}
+}
+
+// seedHist drives observations below, inside, and above a histogram's
+// range so the exposition must fold Under into the first bucket and keep
+// Over inside the +Inf bucket to stay conformant.
+func seedHist(h *Hist, lo, mid, hi float64) {
+	h.Observe(lo)  // under range
+	h.Observe(mid) // in range
+	h.Observe(mid)
+	h.Observe(hi) // over range
+}
+
+func TestWritePromHistogramConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_admitted").Add(7)
+	r.Gauge("queue_depth").Set(3.5)
+	uniform := r.Histogram("admit_wait", 0, 100, 10)
+	seedHist(uniform, -5, 42, 1e9)
+	loglin := r.HistogramLogLinear("latency_admit_ns", 8, 25, 8)
+	seedHist(loglin, 1, 5000, 1e18)
+	r.Stat("probe_cost").Observe(2.5)
+	r.Describe("admit_wait", "Admission wait.")
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	hists := parsePromText(t, sb.String())
+	checkHistConformance(t, hists)
+
+	// The fold rules in numbers: 4 observations (1 under, 2 in, 1 over).
+	for key, f := range hists {
+		if f.count != 4 {
+			t.Errorf("%s: _count = %d, want 4", key, f.count)
+		}
+		if f.cums[0] < 1 {
+			t.Errorf("%s: under-range observation not folded into first bucket (cum[0]=%d)", key, f.cums[0])
+		}
+		// Over-range observation is visible ONLY in +Inf: the last
+		// finite bucket must exclude it.
+		lastFinite := f.cums[len(f.cums)-2]
+		if lastFinite != 3 {
+			t.Errorf("%s: last finite bucket = %d, want 3 (over-range must only appear in +Inf)", key, lastFinite)
+		}
+	}
+}
+
+// The log-linear histogram's le bounds come from its Bounds slice, not
+// the legacy uniform formula; pin that the rendered le values match
+// BucketUpper exactly (a scraper reconstructs quantiles from them).
+func TestWritePromLogLinearBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramLogLinear("lat", 8, 4, 4)
+	h.Observe(300)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	for i := range snap.Buckets {
+		want := fmt.Sprintf(`lat_bucket{le="%s"}`, PromFloat(snap.BucketUpper(i)))
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -62,6 +62,12 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Hist is a fixed-bucket histogram over [Lo, Hi) with atomic buckets, safe
 // for concurrent Observe inside hot loops.  Observations outside the range
 // saturate into under/over buckets (they still count toward N and Sum).
+//
+// Two bucket layouts exist: the classic uniform layout (NewHist: n equal
+// buckets over [lo, hi)) and a log-linear layout (NewHistLogLinear:
+// power-of-two octaves each split into `sub` equal sub-buckets, the
+// HDR-histogram shape), which keeps relative error bounded across many
+// decades of latency.  Both index in O(1) with no locks.
 type Hist struct {
 	lo, hi  float64
 	width   float64
@@ -70,6 +76,12 @@ type Hist struct {
 	over    atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Uint64 // float64 bits, CAS-added
+
+	// Log-linear layout (nil bounds ⇒ uniform).  bounds[i] is bucket i's
+	// upper edge; bucket i covers [edge(i-1), bounds[i]) with edge(-1)=lo.
+	bounds []float64
+	oct0   int // exponent of the first octave: lo == 2^oct0
+	sub    int // sub-buckets per octave
 }
 
 // NewHist returns a histogram with n buckets over [lo, hi).
@@ -78,6 +90,60 @@ func NewHist(lo, hi float64, n int) *Hist {
 		panic(fmt.Sprintf("obs: bad histogram range [%v,%v) x%d", lo, hi, n))
 	}
 	return &Hist{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]atomic.Int64, n)}
+}
+
+// NewHistLogLinear returns a log-linear histogram covering [2^oct0,
+// 2^(oct0+octaves)) with sub equal-width sub-buckets per power-of-two
+// octave (octaves*sub buckets total).  Relative bucket width is bounded
+// by 1/sub everywhere in range, so one histogram spans nanoseconds to
+// seconds without the uniform layout's resolution collapse.
+func NewHistLogLinear(oct0, octaves, sub int) *Hist {
+	if octaves < 1 || sub < 1 {
+		panic(fmt.Sprintf("obs: bad log-linear shape octaves=%d sub=%d", octaves, sub))
+	}
+	bounds := LogLinearBounds(oct0, octaves, sub)
+	return &Hist{
+		lo:      math.Ldexp(1, oct0),
+		hi:      bounds[len(bounds)-1],
+		buckets: make([]atomic.Int64, len(bounds)),
+		bounds:  bounds,
+		oct0:    oct0,
+		sub:     sub,
+	}
+}
+
+// LogLinearBounds returns the bucket upper edges of the log-linear layout
+// (exported so decoders and tests can reconstruct and verify shapes).
+func LogLinearBounds(oct0, octaves, sub int) []float64 {
+	bounds := make([]float64, 0, octaves*sub)
+	for o := 0; o < octaves; o++ {
+		base := math.Ldexp(1, oct0+o)
+		for j := 1; j <= sub; j++ {
+			bounds = append(bounds, base+base*float64(j)/float64(sub))
+		}
+	}
+	return bounds
+}
+
+// logLinearIndex locates x (known to be in [lo, hi)) in O(1): the octave
+// comes from the float's exponent (Frexp), the sub-bucket from the
+// mantissa's position within the octave.
+func (h *Hist) logLinearIndex(x float64) int {
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+	oct := exp - 1 - h.oct0    // octave of x relative to the first
+	// Position within the octave: x/2^octBase - 1 in [0, 1).
+	j := int((frac*2 - 1) * float64(h.sub))
+	if j >= h.sub { // guard float rounding at the octave edge
+		j = h.sub - 1
+	}
+	i := oct*h.sub + j
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.buckets) {
+		return len(h.buckets) - 1
+	}
+	return i
 }
 
 // Observe incorporates one observation.
@@ -95,6 +161,8 @@ func (h *Hist) Observe(x float64) {
 		h.under.Add(1)
 	case x >= h.hi:
 		h.over.Add(1)
+	case h.bounds != nil:
+		h.buckets[h.logLinearIndex(x)].Add(1)
 	default:
 		i := int((x - h.lo) / h.width)
 		if i >= len(h.buckets) { // guard float rounding at the upper edge
@@ -114,6 +182,7 @@ func (h *Hist) Snapshot() HistSnapshot {
 		Over:    h.over.Load(),
 		Count:   h.count.Load(),
 		Sum:     math.Float64frombits(h.sum.Load()),
+		Bounds:  h.bounds, // immutable after construction, safe to share
 	}
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
@@ -122,15 +191,48 @@ func (h *Hist) Snapshot() HistSnapshot {
 }
 
 // HistSnapshot is an immutable histogram state, mergeable across shards or
-// runs and serializable to JSON.
+// runs and serializable to JSON.  Bounds, when non-nil, gives each
+// bucket's upper edge (the log-linear layout); nil Bounds means the
+// classic uniform layout over [Lo, Hi).
 type HistSnapshot struct {
-	Lo      float64 `json:"lo"`
-	Hi      float64 `json:"hi"`
-	Buckets []int64 `json:"buckets"`
-	Under   int64   `json:"under"`
-	Over    int64   `json:"over"`
-	Count   int64   `json:"count"`
-	Sum     float64 `json:"sum"`
+	Lo      float64   `json:"lo"`
+	Hi      float64   `json:"hi"`
+	Buckets []int64   `json:"buckets"`
+	Under   int64     `json:"under"`
+	Over    int64     `json:"over"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+}
+
+// BucketUpper returns bucket i's upper edge under either layout.
+func (s HistSnapshot) BucketUpper(i int) float64 {
+	if s.Bounds != nil {
+		return s.Bounds[i]
+	}
+	return s.Lo + float64(i+1)*(s.Hi-s.Lo)/float64(len(s.Buckets))
+}
+
+// bucketLower returns bucket i's lower edge under either layout.
+func (s HistSnapshot) bucketLower(i int) float64 {
+	if i == 0 {
+		return s.Lo
+	}
+	return s.BucketUpper(i - 1)
+}
+
+// SameShape reports whether two snapshots can merge: identical range,
+// bucket count, and bucket-edge layout.
+func (s HistSnapshot) SameShape(o HistSnapshot) bool {
+	if s.Lo != o.Lo || s.Hi != o.Hi || len(s.Buckets) != len(o.Buckets) || len(s.Bounds) != len(o.Bounds) {
+		return false
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Mean returns the mean observation (0 with no observations).
@@ -153,12 +255,12 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	if target <= cum {
 		return s.Lo
 	}
-	width := (s.Hi - s.Lo) / float64(len(s.Buckets))
 	for i, c := range s.Buckets {
 		next := cum + float64(c)
 		if target <= next && c > 0 {
 			frac := (target - cum) / float64(c)
-			return s.Lo + (float64(i)+frac)*width
+			lo := s.bucketLower(i)
+			return lo + frac*(s.BucketUpper(i)-lo)
 		}
 		cum = next
 	}
@@ -168,9 +270,9 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 // Merge folds another snapshot into this one.  The snapshots must have the
 // same bucket shape.
 func (s *HistSnapshot) Merge(o HistSnapshot) error {
-	if s.Lo != o.Lo || s.Hi != o.Hi || len(s.Buckets) != len(o.Buckets) {
-		return fmt.Errorf("obs: merging mismatched histograms [%v,%v)x%d and [%v,%v)x%d",
-			s.Lo, s.Hi, len(s.Buckets), o.Lo, o.Hi, len(o.Buckets))
+	if !s.SameShape(o) {
+		return fmt.Errorf("obs: merging mismatched histograms [%v,%v)x%d/%d and [%v,%v)x%d/%d",
+			s.Lo, s.Hi, len(s.Buckets), len(s.Bounds), o.Lo, o.Hi, len(o.Buckets), len(o.Bounds))
 	}
 	for i := range s.Buckets {
 		s.Buckets[i] += o.Buckets[i]
@@ -319,6 +421,26 @@ func (r *Registry) Histogram(name string, lo, hi float64, n int) *Hist {
 		return h
 	}
 	h = NewHist(lo, hi, n)
+	r.hists[name] = h
+	return h
+}
+
+// HistogramLogLinear returns the named log-linear histogram, creating it
+// with the given shape on first use (the shape of an existing histogram
+// is kept, exactly like Histogram).
+func (r *Registry) HistogramLogLinear(name string, oct0, octaves, sub int) *Hist {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistLogLinear(oct0, octaves, sub)
 	r.hists[name] = h
 	return h
 }

@@ -63,6 +63,10 @@ func (e *Engine) ExportState() EngineState {
 	grab(ObjectiveLatency, e.opts.LatencyBudget, true, e.latShort, e.latLong)
 	grab(ObjectiveUtilization, e.opts.UtilBudget, e.opts.UtilTarget > 0, e.utilShort, e.utilLong)
 	grab(ObjectiveForecast, e.opts.ForecastBudget, e.fcSeen, e.fcShort, e.fcLong)
+	for _, name := range e.regOrder {
+		st := e.reg[name]
+		grab(ObjectiveRegressionPrefix+name, e.opts.RegressionBudget, st.seen, st.short, st.long)
+	}
 	e.mu.Unlock()
 	st.Admitted = e.admitted.Value()
 	st.Rejected = e.rejected.Value()

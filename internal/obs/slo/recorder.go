@@ -47,6 +47,10 @@ const (
 	// never-crashed reference.  This convicts the durability layer (WAL
 	// sync policy, snapshot protocol, or a lying disk).
 	TriggerDurabilityLoss TriggerKind = "durability-loss"
+	// TriggerLatencyRegression: an admission phase's live latency burned
+	// the committed baseline envelope on both windows — the regression
+	// sentinel caught the plane getting slower than its benchmarked self.
+	TriggerLatencyRegression TriggerKind = "latency-regression"
 	// TriggerManual: an operator-requested snapshot.
 	TriggerManual TriggerKind = "manual"
 )

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 )
 
 // Metric names published to the registry.
@@ -98,6 +99,17 @@ type Options struct {
 	RaceSpikeThreshold int64
 	StormThreshold     int64
 
+	// RegressionSource, if set, arms the online latency-regression
+	// sentinel: each Tick pulls the cumulative per-phase envelope
+	// counters (typically (*latency.Plane).RegressionCounts), diffs them
+	// into burn windows, and raises an edge-triggered
+	// "latency-regression:<phase>" alert — with a flight-recorder
+	// snapshot — when a phase burns its budget on both windows.
+	RegressionSource func() []latency.PhaseCount
+	// RegressionBudget is the tolerated fraction of admissions over the
+	// phase envelope (default 0.01).
+	RegressionBudget float64
+
 	// Registry receives the slo_* metrics; nil creates a private one.
 	Registry *obs.Registry
 	// Recorder, if set, is triggered on violations and anomalies.
@@ -134,6 +146,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StormThreshold <= 0 {
 		o.StormThreshold = 16
+	}
+	if o.RegressionBudget <= 0 {
+		o.RegressionBudget = 0.01
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -191,6 +206,14 @@ func (w *window) add(now float64, isBad bool) {
 	} else {
 		w.good[w.cur]++
 	}
+}
+
+// addN bulk-adds good/bad counts into the current bucket (the regression
+// sentinel consumes counter deltas covering many admissions per tick).
+func (w *window) addN(now float64, good, bad int64) {
+	w.advance(now)
+	w.good[w.cur] += good
+	w.bad[w.cur] += bad
 }
 
 func (w *window) totals() (bad, total int64) {
@@ -275,6 +298,8 @@ type Engine struct {
 	lastMoves  int64
 	routerSeen bool
 	alertOn    map[string]bool
+	reg        map[string]*regState
+	regOrder   []string
 
 	admitted       *obs.Counter
 	rejected       *obs.Counter
@@ -308,6 +333,7 @@ func New(opts Options) *Engine {
 		raceWin:        newWindow(o.ShortWindow, o.Buckets),
 		stormWin:       newWindow(o.ShortWindow, o.Buckets),
 		alertOn:        make(map[string]bool),
+		reg:            make(map[string]*regState),
 		admitted:       reg.Counter(MetricAdmitted),
 		rejected:       reg.Counter(MetricRejected),
 		completed:      reg.Counter(MetricCompleted),
@@ -556,7 +582,9 @@ func (e *Engine) Tick(now float64) {
 	if fcSeen {
 		check("headroom-forecast", fs, fl)
 	}
+	regFired := e.advanceRegressionLocked(now, &fired)
 	e.mu.Unlock()
+	e.triggerRegressions(now, regFired)
 	e.latBurnShort.Set(clampInf(ls))
 	e.latBurnLong.Set(clampInf(ll))
 	e.utilBurnShort.Set(clampInf(us))
@@ -608,6 +636,11 @@ type Report struct {
 	ForecastMisses    int64   `json:"forecast_misses,omitempty"`
 	ForecastChecks    int64   `json:"forecast_checks,omitempty"`
 
+	// Regression is the latency-regression sentinel's current per-phase
+	// burns (empty when no RegressionSource is armed or no admissions
+	// have been timed).
+	Regression []ObjectiveBurn `json:"regression,omitempty"`
+
 	Snapshots int `json:"flight_snapshots"`
 }
 
@@ -639,6 +672,7 @@ func (e *Engine) Report() Report {
 		r.ForecastChecks = e.fcChecks
 		r.ForecastMisses = e.fcMisses
 	}
+	r.Regression = e.regressionBurnsLocked()
 	e.mu.Unlock()
 	r.Admitted = e.admitted.Value()
 	r.Rejected = e.rejected.Value()

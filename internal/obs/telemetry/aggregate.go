@@ -9,6 +9,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 )
@@ -78,6 +79,7 @@ type nodeState struct {
 	haveHeadroom bool
 	headroom     core.Headroom
 	ledger       *ledger.Snapshot
+	exemplars    []latency.Exemplar
 	spans        *obs.Ring[obs.SpanRec]
 
 	frames      int64
@@ -309,6 +311,8 @@ func (a *Aggregator) consume(ns *nodeState, conn net.Conn) error {
 			ns.haveHeadroom = true
 		case KindLedger:
 			ns.ledger = msg.Ledger
+		case KindExemplars:
+			ns.exemplars = msg.Exemplars
 		case KindHeartbeat:
 			ns.heartbeat = msg.Heartbeat
 			ns.hasHB = true
@@ -436,6 +440,20 @@ func (a *Aggregator) MergedLedger() *ledger.Snapshot {
 		ns.mu.Unlock()
 	}
 	return merged
+}
+
+// MergedExemplars folds every node's tail exemplars into the k slowest
+// cluster-wide (latency.MergeTopK), slowest first.  k <= 0 keeps all.
+func (a *Aggregator) MergedExemplars(k int) []latency.Exemplar {
+	var sets [][]latency.Exemplar
+	for _, ns := range a.nodes {
+		ns.mu.Lock()
+		if len(ns.exemplars) > 0 {
+			sets = append(sets, ns.exemplars)
+		}
+		ns.mu.Unlock()
+	}
+	return latency.MergeTopK(k, sets...)
 }
 
 // InjectSpans adds locally produced spans (e.g. milanmon's own qosnet

@@ -43,9 +43,10 @@ func ComputeDelta(prev, cur obs.Snapshot) Delta {
 			Over:    h.Over,
 			Count:   h.Count,
 			Sum:     h.Sum,
+			Bounds:  h.Bounds,
 		}
 		copy(dh.Buckets, h.Buckets)
-		if ok && p.Lo == h.Lo && p.Hi == h.Hi && len(p.Buckets) == len(h.Buckets) {
+		if ok && p.SameShape(h) {
 			for i := range dh.Buckets {
 				dh.Buckets[i] -= p.Buckets[i]
 			}
@@ -96,7 +97,7 @@ func ApplyDelta(s *obs.Snapshot, d Delta) error {
 			s.Histograms[name] = cp
 			continue
 		}
-		if mine.Lo != dh.Lo || mine.Hi != dh.Hi || len(mine.Buckets) != len(dh.Buckets) {
+		if !mine.SameShape(dh) {
 			return fmt.Errorf("telemetry: delta reshapes histogram %q ([%v,%v)x%d -> [%v,%v)x%d)",
 				name, mine.Lo, mine.Hi, len(mine.Buckets), dh.Lo, dh.Hi, len(dh.Buckets))
 		}

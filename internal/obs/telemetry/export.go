@@ -10,6 +10,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 )
@@ -51,6 +52,11 @@ type Sources struct {
 	// Headroom returns the current headroom frontier (e.g. a closure over
 	// fed.Arbitrator.Headroom).
 	Headroom func() core.Headroom
+	// Latency feeds the tail-exemplar stream (the node's latency plane;
+	// its phase histograms already ride the registry stream — this adds
+	// only the exemplar identities).  nil, like everywhere else, costs a
+	// pointer comparison.
+	Latency *latency.Plane
 	// Clock is the exporter's timestamp source (wall seconds since
 	// exporter creation when nil).
 	Clock func() float64
@@ -479,6 +485,11 @@ func (e *Exporter) publishState(sub *subscriber, tick int) {
 			if payload := e.encodeOrNil(&Msg{Kind: KindLedger, Ledger: ls}); payload != nil {
 				e.enqueue(sub, payload)
 			}
+		}
+	}
+	if e.src.Latency != nil {
+		if ex := e.src.Latency.TopK(); len(ex) > 0 {
+			e.enqueue(sub, e.encodeOrNil(&Msg{Kind: KindExemplars, Exemplars: ex}))
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 )
@@ -17,15 +18,16 @@ import (
 // value: the /state surface, and the artifact milanmon dumps on smoke
 // failure.
 type ClusterState struct {
-	Nodes    []NodeStatus            `json:"nodes"`
-	Merged   obs.Snapshot            `json:"merged"`
-	PerNode  map[string]obs.Snapshot `json:"per_node"`
-	SLO      slo.EngineState         `json:"slo"`
-	Burns    []slo.ObjectiveBurn     `json:"burns"`
-	Headroom core.Headroom           `json:"headroom"`
-	Ledger   *ledger.Snapshot        `json:"ledger,omitempty"`
-	Alerts   []AlertEvent            `json:"alerts,omitempty"`
-	Error    string                  `json:"error,omitempty"`
+	Nodes     []NodeStatus            `json:"nodes"`
+	Merged    obs.Snapshot            `json:"merged"`
+	PerNode   map[string]obs.Snapshot `json:"per_node"`
+	SLO       slo.EngineState         `json:"slo"`
+	Burns     []slo.ObjectiveBurn     `json:"burns"`
+	Headroom  core.Headroom           `json:"headroom"`
+	Ledger    *ledger.Snapshot        `json:"ledger,omitempty"`
+	Exemplars []latency.Exemplar      `json:"exemplars,omitempty"`
+	Alerts    []AlertEvent            `json:"alerts,omitempty"`
+	Error     string                  `json:"error,omitempty"`
 }
 
 // State captures the aggregator's current cluster view.
@@ -33,13 +35,14 @@ func (a *Aggregator) State() ClusterState {
 	merged, err := a.MergedRegistry()
 	perNode, _ := a.NodeSnapshots()
 	st := ClusterState{
-		Nodes:    a.Nodes(),
-		Merged:   merged,
-		PerNode:  perNode,
-		SLO:      a.MergedSLO(),
-		Headroom: a.MergedHeadroom(),
-		Ledger:   a.MergedLedger(),
-		Alerts:   a.Alerts(),
+		Nodes:     a.Nodes(),
+		Merged:    merged,
+		PerNode:   perNode,
+		SLO:       a.MergedSLO(),
+		Headroom:  a.MergedHeadroom(),
+		Ledger:    a.MergedLedger(),
+		Exemplars: a.MergedExemplars(0),
+		Alerts:    a.Alerts(),
 	}
 	st.Burns = st.SLO.Burns()
 	if err != nil {
@@ -57,6 +60,8 @@ func (a *Aggregator) State() ClusterState {
 //	/nodes    per-node liveness, stream lag, and drop accounting
 //	/headroom merged admissibility frontier
 //	/ledger   merged utilization ledger
+//	/latency  merged phase-latency anatomy: cluster-wide per-phase
+//	          quantiles, top-K slowest exemplars, stitched traces
 //	/state    the full ClusterState in one document
 //	/healthz  200 when every node is connected, 503 otherwise
 func (a *Aggregator) Handler() http.Handler {
@@ -146,6 +151,16 @@ func (a *Aggregator) Handler() http.Handler {
 		}
 		writeJSON(w, ls)
 	})
+	mux.HandleFunc("/latency", func(w http.ResponseWriter, r *http.Request) {
+		k := 16
+		if q := r.URL.Query().Get("k"); q != "" {
+			if _, err := fmt.Sscanf(q, "%d", &k); err != nil || k < 1 {
+				http.Error(w, "bad k parameter", http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, a.LatencyView(k))
+	})
 	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.State())
 	})
@@ -166,6 +181,67 @@ func (a *Aggregator) Handler() http.Handler {
 		}{len(nodes), down})
 	})
 	return mux
+}
+
+// LatencyPhaseView is one phase's cluster-merged latency summary.
+type LatencyPhaseView struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// LatencyView is the /latency surface: cluster-wide phase anatomy built
+// from the merged phase histograms, the k slowest exemplars across all
+// nodes, and — for every exemplar whose trace the span stream retained —
+// the stitched cross-process span tree, so a tail request is navigable
+// from waterfall to spans in one document.
+type LatencyView struct {
+	Phases    map[string]LatencyPhaseView `json:"phases"`
+	Exemplars []latency.Exemplar          `json:"exemplars"`
+	Traces    map[string]*obs.SpanNode    `json:"traces,omitempty"`
+	Error     string                      `json:"error,omitempty"`
+}
+
+// LatencyView assembles the cluster latency anatomy (k bounds the
+// exemplar list; <= 0 keeps all).
+func (a *Aggregator) LatencyView(k int) LatencyView {
+	v := LatencyView{Phases: make(map[string]LatencyPhaseView)}
+	merged, err := a.MergedRegistry()
+	if err != nil {
+		v.Error = err.Error()
+	}
+	names := latency.PhaseNames()
+	grab := func(key, metric string) {
+		h, ok := merged.Histograms[metric]
+		if !ok || h.Count == 0 {
+			return
+		}
+		v.Phases[key] = LatencyPhaseView{
+			Count:  h.Count,
+			MeanNs: h.Mean(),
+			P50Ns:  h.Quantile(0.50),
+			P99Ns:  h.Quantile(0.99),
+		}
+	}
+	grab("e2e", "latency_admit_ns")
+	for _, n := range names {
+		grab(n, "latency_phase_"+n+"_ns")
+	}
+	v.Exemplars = a.MergedExemplars(k)
+	trees := a.SpanTrees()
+	for _, e := range v.Exemplars {
+		if e.Trace == 0 {
+			continue
+		}
+		if tree, ok := trees[obs.TraceID(e.Trace)]; ok {
+			if v.Traces == nil {
+				v.Traces = make(map[string]*obs.SpanNode)
+			}
+			v.Traces[fmt.Sprintf("%d", e.Trace)] = tree
+		}
+	}
+	return v
 }
 
 // WritePromLabeled renders per-node registry snapshots in the
@@ -249,11 +325,10 @@ func WritePromLabeled(w io.Writer, snaps map[string]obs.Snapshot, help map[strin
 			if !ok {
 				continue
 			}
-			width := (h.Hi - h.Lo) / float64(len(h.Buckets))
 			cum := h.Under
 			for i, c := range h.Buckets {
 				cum += c
-				le := h.Lo + float64(i+1)*width
+				le := h.BucketUpper(i)
 				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n,
 					label(node, fmt.Sprintf(`le="%s"`, obs.PromEscapeLabel(obs.PromFloat(le)))), cum); err != nil {
 					return err

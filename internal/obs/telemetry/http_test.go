@@ -132,3 +132,88 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatalf("/state nodes = %+v", st.Nodes)
 	}
 }
+
+// Conformance pin for the per-node exposition's histogram families:
+// cumulative counts over strictly-increasing le bounds PER NODE, under-
+// range observations folded into the first bucket, over-range visible
+// only in the mandatory +Inf bucket, and +Inf == _count.  Uses a
+// log-linear histogram so the le values exercise the Bounds-based path.
+func TestWritePromLabeledHistogramConformance(t *testing.T) {
+	mk := func(seed float64) obs.HistSnapshot {
+		reg := obs.NewRegistry()
+		h := reg.HistogramLogLinear("lat", 8, 6, 4)
+		h.Observe(1)    // under range
+		h.Observe(seed) // in range
+		h.Observe(seed * 2)
+		h.Observe(1e18) // over range
+		return h.Snapshot()
+	}
+	snaps := map[string]obs.Snapshot{
+		"n1": {Histograms: map[string]obs.HistSnapshot{"lat": mk(400)}},
+		"n2": {Histograms: map[string]obs.HistSnapshot{"lat": mk(900)}},
+	}
+	var sb strings.Builder
+	if err := WritePromLabeled(&sb, snaps, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"n1", "n2"} {
+		prevLE := -1.0
+		prevCum := int64(-1)
+		var infCum, count int64
+		sawInf, sawSum, sawCount := false, false, false
+		for _, line := range strings.Split(sb.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, "lat_bucket{") && strings.Contains(line, `node="`+node+`"`):
+				var le string
+				var cum int64
+				if strings.Contains(line, `le="+Inf"`) {
+					if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum); err != nil {
+						t.Fatalf("bad +Inf line %q: %v", line, err)
+					}
+					sawInf, infCum = true, cum
+					continue
+				}
+				if _, err := fmt.Sscanf(line, `lat_bucket{node="`+node+`",le="%s`, &le); err != nil {
+					t.Fatalf("unparseable bucket line %q: %v", line, err)
+				}
+				le = strings.TrimSuffix(le, `"}`)
+				var f float64
+				if _, err := fmt.Sscanf(le, "%g", &f); err != nil {
+					t.Fatalf("le %q not a float in %q: %v", le, line, err)
+				}
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum); err != nil {
+					t.Fatalf("bad count in %q: %v", line, err)
+				}
+				if sawInf {
+					t.Fatalf("finite bucket after +Inf for %s: %q", node, line)
+				}
+				if f <= prevLE {
+					t.Fatalf("%s: le not strictly increasing: %v after %v", node, f, prevLE)
+				}
+				if cum < prevCum {
+					t.Fatalf("%s: cumulative count decreased: %d after %d", node, cum, prevCum)
+				}
+				prevLE, prevCum = f, cum
+			case strings.HasPrefix(line, "lat_sum{node=\""+node+"\"}"):
+				sawSum = true
+			case strings.HasPrefix(line, "lat_count{node=\""+node+"\"}"):
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count); err != nil {
+					t.Fatalf("bad _count line %q: %v", line, err)
+				}
+				sawCount = true
+			}
+		}
+		if !sawInf || !sawSum || !sawCount {
+			t.Fatalf("%s: missing +Inf/_sum/_count (inf=%v sum=%v count=%v)", node, sawInf, sawSum, sawCount)
+		}
+		if count != 4 {
+			t.Fatalf("%s: _count = %d, want 4", node, count)
+		}
+		if infCum != count {
+			t.Fatalf("%s: +Inf bucket %d != _count %d", node, infCum, count)
+		}
+		if prevCum != 3 {
+			t.Fatalf("%s: last finite bucket %d, want 3 (over-range only in +Inf)", node, prevCum)
+		}
+	}
+}

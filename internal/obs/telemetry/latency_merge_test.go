@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"milan/internal/obs"
+	"milan/internal/obs/latency"
+)
+
+// Cluster property: the aggregator's merged per-phase latency
+// histograms must equal the per-node sums BIT-FOR-BIT after riding the
+// real telemetry wire (encode → stream → accumulate → merge).  Phase
+// durations are integer nanoseconds, so the float64 bucket sums stay
+// exactly representable and reflect.DeepEqual is the honest check.
+func TestMergedPhaseHistogramsEqualNodeSums(t *testing.T) {
+	const nodes = 3
+	regs := make([]*obs.Registry, nodes)
+	exps := make([]*Exporter, nodes)
+	addrs := make([]string, nodes)
+	rng := rand.New(rand.NewSource(99))
+	for i := range regs {
+		regs[i] = obs.NewRegistry()
+		lp := latency.New(latency.Config{Registry: regs[i]})
+		// Drive admissions with per-node-distinct phase durations.
+		for j := 0; j < 50+i*17; j++ {
+			var durs [latency.NumPhases]int64
+			total := int64(0)
+			for ph := range durs {
+				durs[ph] = rng.Int63n(1 << 20)
+				total += durs[ph]
+			}
+			lp.Done(rng.Uint64(), int64(j), int32(i), total, durs, int64(j))
+		}
+		exps[i] = newTestExporter(t, fmt.Sprintf("n%d", i), "127.0.0.1:0", Sources{Registry: regs[i], Latency: lp})
+		defer exps[i].Close()
+		addrs[i] = exps[i].Addr()
+	}
+	agg := newTestAggregator(t, addrs...)
+
+	// Expected: the direct merge of the live per-node snapshots.
+	want := make(map[string]obs.HistSnapshot)
+	histNames := []string{"latency_admit_ns"}
+	for _, ph := range latency.PhaseNames() {
+		histNames = append(histNames, "latency_phase_"+ph+"_ns")
+	}
+	for _, name := range histNames {
+		for i, reg := range regs {
+			h, ok := reg.Snapshot().Histograms[name]
+			if !ok {
+				t.Fatalf("node %d registry missing %s", i, name)
+			}
+			if acc, ok := want[name]; ok {
+				if err := acc.Merge(h); err != nil {
+					t.Fatal(err)
+				}
+				want[name] = acc
+			} else {
+				want[name] = h
+			}
+		}
+	}
+
+	waitFor(t, 5e9, func() error {
+		merged, err := agg.MergedRegistry()
+		if err != nil {
+			return err
+		}
+		for _, name := range histNames {
+			got, ok := merged.Histograms[name]
+			if !ok {
+				return fmt.Errorf("merged registry missing %s", name)
+			}
+			if !reflect.DeepEqual(got, want[name]) {
+				return fmt.Errorf("%s: merged != per-node sum\n got %+v\nwant %+v", name, got, want[name])
+			}
+		}
+		return nil
+	})
+}
+
+// Exemplars flow node -> wire -> aggregator: the merged top-K must
+// contain the cluster-slowest request with its waterfall intact.
+func TestAggregatorMergesExemplars(t *testing.T) {
+	reg := obs.NewRegistry()
+	lp := latency.New(latency.Config{Registry: reg})
+	var durs [latency.NumPhases]int64
+	durs[1] = 50_000_000 // probe-dominated waterfall
+	lp.Done(0xabcd, 7, 2, 50_100_000, durs, 0)
+	exp := newTestExporter(t, "n1", "127.0.0.1:0", Sources{Registry: reg, Latency: lp})
+	defer exp.Close()
+	agg := newTestAggregator(t, exp.Addr())
+
+	waitFor(t, 5e9, func() error {
+		got := agg.MergedExemplars(4)
+		if len(got) == 0 {
+			return fmt.Errorf("no exemplars merged yet")
+		}
+		e := got[0]
+		if e.Trace != 0xabcd || e.Total != 50_100_000 || e.Durs[1] != 50_000_000 {
+			return fmt.Errorf("exemplar drifted over the wire: %+v", e)
+		}
+		return nil
+	})
+	view := agg.LatencyView(4)
+	if len(view.Exemplars) == 0 || view.Exemplars[0].Trace != 0xabcd {
+		t.Fatalf("latency view missing the exemplar: %+v", view.Exemplars)
+	}
+}

@@ -34,13 +34,16 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 )
 
 // Version is the protocol version carried in every Hello frame.  A
 // subscriber refuses sessions with a version it does not speak.
-const Version = 1
+// Version 2 added histogram bucket bounds (log-linear layouts) and the
+// KindExemplars latency frame.
+const Version = 2
 
 // MsgKind enumerates the frame types of one telemetry session.
 type MsgKind uint8
@@ -73,6 +76,12 @@ const (
 	// KindHeartbeat carries liveness, the frame sequence number and the
 	// per-stream drop counters (frames coalesced, spans lost).
 	KindHeartbeat MsgKind = 8
+	// KindExemplars is the node's current tail-latency exemplars: the
+	// slowest recent admissions' trace identities and per-phase
+	// waterfalls.  State, not a log — each frame replaces the node's
+	// previous set (the latest two exemplar windows), so the aggregator
+	// can merge a cluster-wide top-K without double counting.
+	KindExemplars MsgKind = 9
 )
 
 func (k MsgKind) String() string {
@@ -93,6 +102,8 @@ func (k MsgKind) String() string {
 		return "ledger"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindExemplars:
+		return "exemplars"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -134,15 +145,16 @@ type Delta struct {
 type Msg struct {
 	Kind MsgKind
 
-	Hello     Hello             // KindHello
-	Snapshot  obs.Snapshot      // KindSnapshot
-	Help      map[string]string // KindSnapshot: metric help text for exposition
-	Delta     Delta             // KindDelta
-	Spans     []obs.SpanRec     // KindSpans
-	SLO       slo.EngineState   // KindSLO
-	Headroom  core.Headroom     // KindHeadroom
-	Ledger    *ledger.Snapshot  // KindLedger
-	Heartbeat Heartbeat         // KindHeartbeat
+	Hello     Hello              // KindHello
+	Snapshot  obs.Snapshot       // KindSnapshot
+	Help      map[string]string  // KindSnapshot: metric help text for exposition
+	Delta     Delta              // KindDelta
+	Spans     []obs.SpanRec      // KindSpans
+	SLO       slo.EngineState    // KindSLO
+	Headroom  core.Headroom      // KindHeadroom
+	Ledger    *ledger.Snapshot   // KindLedger
+	Heartbeat Heartbeat          // KindHeartbeat
+	Exemplars []latency.Exemplar // KindExemplars
 }
 
 // Decoder hardening limits, mirroring internal/durable: corrupt counts
@@ -156,6 +168,7 @@ const (
 	maxAttrs        = 256
 	maxObjectives   = 1 << 8
 	maxLedgerJSON   = 8 << 20
+	maxExemplars    = 1 << 10
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -202,6 +215,10 @@ func appendHistSnapshot(b []byte, h obs.HistSnapshot) []byte {
 	b = appendInt64(b, h.Over)
 	b = appendInt64(b, h.Count)
 	b = appendFloat(b, h.Sum)
+	b = appendUint32(b, uint32(len(h.Bounds)))
+	for _, e := range h.Bounds {
+		b = appendFloat(b, e)
+	}
 	return b
 }
 
@@ -303,6 +320,18 @@ func appendSLOState(b []byte, s slo.EngineState) []byte {
 	return b
 }
 
+func appendExemplar(b []byte, e latency.Exemplar) []byte {
+	b = appendUint64(b, e.Trace)
+	b = appendInt64(b, e.Job)
+	b = appendUint32(b, uint32(e.Shard))
+	b = appendInt64(b, e.Total)
+	b = appendUint32(b, uint32(len(e.Durs)))
+	for _, d := range e.Durs {
+		b = appendInt64(b, d)
+	}
+	return appendFloat(b, e.At)
+}
+
 // EncodeMsg serializes one message payload (no framing).
 func EncodeMsg(m *Msg) ([]byte, error) {
 	b := make([]byte, 0, 256)
@@ -365,6 +394,11 @@ func EncodeMsg(m *Msg) ([]byte, error) {
 		}
 		b = appendUint32(b, uint32(len(js)))
 		b = append(b, js...)
+	case KindExemplars:
+		b = appendUint32(b, uint32(len(m.Exemplars)))
+		for _, e := range m.Exemplars {
+			b = appendExemplar(b, e)
+		}
 	case KindHeartbeat:
 		b = appendFloat(b, m.Heartbeat.Now)
 		b = appendUint64(b, m.Heartbeat.Seq)
@@ -481,6 +515,17 @@ func (c *cursor) histSnapshot() obs.HistSnapshot {
 	h.Over = c.i64()
 	h.Count = c.i64()
 	h.Sum = c.f64()
+	nb := c.count(maxBuckets, 8, "bound")
+	if nb > 0 {
+		if nb != n {
+			c.fail("telemetry: histogram carries %d bounds for %d buckets", nb, n)
+			return h
+		}
+		h.Bounds = make([]float64, 0, nb)
+		for i := 0; i < nb && c.err == nil; i++ {
+			h.Bounds = append(h.Bounds, c.f64())
+		}
+	}
 	return h
 }
 
@@ -612,6 +657,27 @@ func (c *cursor) sloState() slo.EngineState {
 	return s
 }
 
+// exemplar decodes one tail exemplar.  The phase-waterfall length is
+// carried on the wire and must match this build's phase count exactly —
+// a node speaking a different phase model cannot be merged meaningfully.
+func (c *cursor) exemplar() latency.Exemplar {
+	var e latency.Exemplar
+	e.Trace = c.u64()
+	e.Job = c.i64()
+	e.Shard = int32(c.u32())
+	e.Total = c.i64()
+	nd := c.count(64, 8, "phase duration")
+	if c.err == nil && nd != latency.NumPhases {
+		c.fail("telemetry: exemplar carries %d phase durations, want %d", nd, latency.NumPhases)
+		return e
+	}
+	for i := 0; i < nd && c.err == nil; i++ {
+		e.Durs[i] = c.i64()
+	}
+	e.At = c.f64()
+	return e
+}
+
 // DecodeMsg parses one message payload.  Truncated, oversized,
 // non-canonical or trailing-garbage payloads return an error; no input
 // may panic (the fuzz target pins this), and decode∘encode is the
@@ -706,6 +772,12 @@ func DecodeMsg(payload []byte) (*Msg, error) {
 				return nil, fmt.Errorf("telemetry: non-canonical ledger JSON")
 			}
 			m.Ledger = &ls
+		}
+	case KindExemplars:
+		n := c.count(maxExemplars, 44, "exemplar")
+		m.Exemplars = make([]latency.Exemplar, 0, n)
+		for i := 0; i < n && c.err == nil; i++ {
+			m.Exemplars = append(m.Exemplars, c.exemplar())
 		}
 	case KindHeartbeat:
 		m.Heartbeat.Now = c.f64()

@@ -7,6 +7,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/obs/ledger"
 	"milan/internal/obs/slo"
 )
@@ -58,6 +59,12 @@ func sampleMsgs(t testing.TB) []*Msg {
 			BestHole: core.Hole{Start: 2, End: 42, Procs: 2},
 		}},
 		{Kind: KindLedger, Ledger: led},
+		{Kind: KindExemplars, Exemplars: []latency.Exemplar{
+			{Trace: 0xdeadbeef, Job: 42, Shard: 3, Total: 51_000_000,
+				Durs: [latency.NumPhases]int64{1000, 50_000_000, 0, 900_000, 90_000, 9_000}, At: 1723.5},
+			{Trace: 0, Job: -1, Shard: -1, Total: 700,
+				Durs: [latency.NumPhases]int64{100, 100, 100, 100, 100, 200}, At: 1724.25},
+		}},
 		{Kind: KindHeartbeat, Heartbeat: Heartbeat{Now: 2.5, Seq: 9, DroppedFrames: 1, DroppedSpans: 3, SpanTotal: 44}},
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"milan/internal/core"
+	"milan/internal/obs/latency/phase"
 )
 
 // ErrRejected is returned by Negotiate when admission control fails: no
@@ -54,6 +55,15 @@ func (g *Grant) Finish() float64 { return g.Placement.Finish() }
 // arbitrator or a qosnet client speaking to a remote one.
 type Negotiator interface {
 	Negotiate(job core.Job) (*Grant, error)
+}
+
+// TimedNegotiator is a Negotiator that can attribute its admission time
+// to latency phases (internal/obs/latency/phase).  rec may be nil (or inert):
+// implementations call its nil-safe Mark methods unconditionally, so the
+// untimed path costs nothing beyond a nil check.
+type TimedNegotiator interface {
+	Negotiator
+	NegotiateTimed(job core.Job, rec *phase.Rec) (*Grant, error)
 }
 
 // Decision records one admission decision for observers.
@@ -108,13 +118,24 @@ func (a *Arbitrator) Procs() int { return a.sched.Procs() }
 // path, reserves the best schedulable one (per the greedy heuristic's
 // tie-breaking rules) and returns the grant, or ErrRejected.
 func (a *Arbitrator) Negotiate(job core.Job) (*Grant, error) {
+	return a.NegotiateTimed(job, nil)
+}
+
+// NegotiateTimed is Negotiate with latency-phase attribution: lock
+// acquisition counts as route (decision serialization), the scheduler's
+// admission descent as plan, and decision bookkeeping as reserve.  rec
+// may be nil.
+func (a *Arbitrator) NegotiateTimed(job core.Job, rec *phase.Rec) (*Grant, error) {
 	a.mu.Lock()
+	rec.Mark(phase.Route)
 	defer a.mu.Unlock()
 
 	pl, err := a.sched.Admit(job)
+	rec.Mark(phase.Plan)
 	if err != nil {
 		if errors.Is(err, core.ErrRejected) {
 			a.record(Decision{Job: job, Rejected: true, Now: a.now})
+			rec.Mark(phase.Reserve)
 			return nil, ErrRejected
 		}
 		return nil, err
@@ -127,6 +148,7 @@ func (a *Arbitrator) Negotiate(job core.Job) (*Grant, error) {
 		Trace:     job.Trace,
 	}
 	a.record(Decision{Job: job, Grant: g, Now: a.now})
+	rec.Mark(phase.Reserve)
 	return g, nil
 }
 

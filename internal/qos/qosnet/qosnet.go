@@ -17,6 +17,7 @@ import (
 
 	"milan/internal/core"
 	"milan/internal/obs"
+	"milan/internal/obs/latency"
 	"milan/internal/qos"
 )
 
@@ -92,6 +93,11 @@ type Server struct {
 	// onDecision, when set, observes every negotiation outcome with its
 	// server-side wall latency (the SLO engine's admission-latency feed).
 	onDecision atomic.Pointer[func(job core.Job, g *qos.Grant, err error, latency time.Duration)]
+	// latency, when set, times every negotiation through its admission
+	// phases (route/probe/plan/reserve/journal/ack): the server is the
+	// Rec lifecycle owner, arbitrators that implement qos.TimedNegotiator
+	// attribute their phases into it.  Read lock-free on the hot path.
+	latency atomic.Pointer[latency.Plane]
 }
 
 // Serve starts serving the arbitrator on ln and returns immediately.
@@ -155,25 +161,48 @@ func (s *Server) SetDecisionHook(fn func(job core.Job, g *qos.Grant, err error, 
 	s.onDecision.Store(&fn)
 }
 
-// negotiate runs one negotiation through the installed tracer and decision
-// hook.  With neither installed it is a direct call plus two atomic loads.
-func (s *Server) negotiate(fn func(core.Job) (*qos.Grant, error), job core.Job) (*qos.Grant, error) {
+// SetLatency installs (or, with nil, removes) the admission latency
+// plane.  Safe to call while serving.
+func (s *Server) SetLatency(p *latency.Plane) {
+	if p == nil {
+		s.latency.Store(nil)
+		return
+	}
+	s.latency.Store(p)
+}
+
+// negotiate runs one negotiation through the installed tracer, latency
+// plane and decision hook.  With none installed it is a direct call plus
+// three atomic loads.
+func (s *Server) negotiate(n qos.Negotiator, job core.Job) (*qos.Grant, error) {
 	t := s.tracer.Load()
 	hook := s.onDecision.Load()
-	if t == nil && hook == nil {
-		return fn(job)
+	lp := s.latency.Load()
+	if t == nil && hook == nil && lp == nil {
+		return n.Negotiate(job)
 	}
 	var began time.Time
 	if hook != nil {
 		began = time.Now()
 	}
+	rec := lp.Start(job.Trace, int64(job.ID))
 	var root *obs.ActiveSpan
 	if t != nil && job.Trace == 0 {
 		tr := t.NewTrace()
 		root = t.Start(tr, 0, "qosnet.negotiate", obs.StageArrival, job.ID)
 		job.Trace, job.Span = uint64(tr), uint64(root.ID())
+		rec.SetTrace(job.Trace)
 	}
-	g, err := fn(job)
+	var g *qos.Grant
+	var err error
+	if tn, ok := n.(qos.TimedNegotiator); ok && rec.Active() {
+		g, err = tn.NegotiateTimed(job, &rec)
+	} else {
+		g, err = n.Negotiate(job)
+	}
+	if g != nil {
+		rec.SetShard(g.Shard)
+	}
 	if root != nil {
 		if err != nil {
 			root.SetErr(err.Error())
@@ -183,6 +212,7 @@ func (s *Server) negotiate(fn func(core.Job) (*qos.Grant, error), job core.Job) 
 	if hook != nil {
 		(*hook)(job, g, err, time.Since(began))
 	}
+	rec.End()
 	return g, err
 }
 
@@ -253,7 +283,7 @@ func (s *Server) dispatch(req request) response {
 	}
 	switch req.Op {
 	case opNegotiate:
-		g, err := s.negotiate(s.arb.Negotiate, req.Job)
+		g, err := s.negotiate(s.arb, req.Job)
 		switch {
 		case errors.Is(err, qos.ErrRejected):
 			return response{Rejected: true}
@@ -290,7 +320,7 @@ func (s *Server) dispatch(req request) response {
 func (s *Server) dispatchDynamic(req request) response {
 	switch req.Op {
 	case opNegotiate:
-		g, err := s.negotiate(s.dyn.Negotiate, req.Job)
+		g, err := s.negotiate(s.dyn, req.Job)
 		switch {
 		case errors.Is(err, qos.ErrRejected):
 			return response{Rejected: true}
